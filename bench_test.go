@@ -1,0 +1,169 @@
+package fsdinference_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"fsdinference"
+	"fsdinference/internal/experiments"
+	"fsdinference/internal/model"
+	"fsdinference/internal/partition"
+	"fsdinference/internal/sim"
+	"fsdinference/internal/sparse"
+	"fsdinference/internal/wire"
+)
+
+// benchScale picks the experiment grid: quick by default, the full default
+// grid with FSD_BENCH_SCALE=default.
+func benchScale() experiments.Scale {
+	if os.Getenv("FSD_BENCH_SCALE") == "default" {
+		return experiments.DefaultScale()
+	}
+	return experiments.QuickScale()
+}
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+func sharedLab() *experiments.Lab {
+	benchLabOnce.Do(func() { benchLab = experiments.NewLab(benchScale()) })
+	return benchLab
+}
+
+// benchExperiment runs one table/figure regenerator per iteration and logs
+// its rendering once, so `go test -bench .` both regenerates and displays
+// every paper artifact.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	lab := sharedLab()
+	r, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var out *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := r.Run(lab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = t
+	}
+	b.Log("\n" + out.String())
+}
+
+// One benchmark per paper table and figure (§VI).
+
+func BenchmarkFig4DailyCost(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkFig5QueryLatency(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6Scaling(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkTable2PerSample(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkTable3Partitioning(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkCostValidation(b *testing.B)     { benchExperiment(b, "costval") }
+
+// Ablations the paper references without showing.
+
+func BenchmarkAblationPolling(b *testing.B)     { benchExperiment(b, "polling") }
+func BenchmarkAblationLaunch(b *testing.B)      { benchExperiment(b, "launch") }
+func BenchmarkAblationCompression(b *testing.B) { benchExperiment(b, "compression") }
+func BenchmarkAblationQuota(b *testing.B)       { benchExperiment(b, "quota") }
+
+// Component micro-benchmarks.
+
+func BenchmarkSparseMulGather(b *testing.B) {
+	m, err := model.Generate(model.GraphChallengeSpec(1024, 1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := m.Layers[0]
+	x := model.GenerateInputs(1024, 64, 0.2, 2)
+	z := sparse.NewDense(w.Rows, 64)
+	lookup := func(c int32) []float32 {
+		if x.RowIsZero(int(c)) {
+			return nil
+		}
+		return x.Row(int(c))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Zero()
+		sparse.MulGatherInto(w, lookup, z)
+	}
+}
+
+func BenchmarkWireEncodeChunksCompressed(b *testing.B) {
+	rs := wire.NewRowSet(64)
+	row := make([]float32, 64)
+	for i := range row {
+		if i%3 == 0 {
+			row[i] = float32(i)
+		}
+	}
+	for r := 0; r < 512; r++ {
+		rs.Add(int32(r), row)
+	}
+	b.SetBytes(rs.RawBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.EncodeChunks(rs, 240*1024, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHypergraphPartition(b *testing.B) {
+	m, err := model.Generate(model.GraphChallengeSpec(512, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.BuildPlan(m, 8, partition.HGPDNN, partition.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimKernelEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.New()
+		c := sim.NewCond(k)
+		for p := 0; p < 16; p++ {
+			k.Go("w", func(p *sim.Proc) {
+				for j := 0; j < 100; j++ {
+					p.Sleep(1)
+				}
+				c.Broadcast()
+			})
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineQueueRun(b *testing.B) {
+	m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := fsdinference.BuildPlan(m, 4, fsdinference.Block, fsdinference.PartitionOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := fsdinference.GenerateInputs(256, 16, 0.2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := fsdinference.Deploy(fsdinference.NewEnv(), fsdinference.Config{
+			Model: m, Plan: plan, Channel: fsdinference.Queue,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Infer(input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command fsdbench regenerates the paper's tables and figures (§VI) on the
+// simulated cloud.
+//
+// Usage:
+//
+//	fsdbench [-exp id|all] [-scale quick|default] [-list]
+//
+// Experiment ids follow the paper: fig4, fig5, fig6, table2, table3,
+// costval, plus the ablations polling, launch, compression and quota.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fsdinference/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run, or \"all\"")
+	scale := flag.String("scale", "quick", "evaluation grid: quick or default")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-12s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "quick":
+		s = experiments.QuickScale()
+	case "default":
+		s = experiments.DefaultScale()
+	default:
+		fmt.Fprintf(os.Stderr, "fsdbench: unknown scale %q (want quick or default)\n", *scale)
+		os.Exit(2)
+	}
+	lab := experiments.NewLab(s)
+
+	run := func(r experiments.Runner) {
+		t0 := time.Now()
+		tab, err := r.Run(lab)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsdbench: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab)
+		fmt.Printf("(%s regenerated in %v)\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, r := range experiments.Registry() {
+			run(r)
+		}
+		return
+	}
+	r, ok := experiments.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fsdbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(r)
+}

@@ -1,0 +1,57 @@
+// Command fsdcost explores the FSD-Inference cost model (§IV): it evaluates
+// the channel recommendation for a workload and prints the API-cost
+// comparison behind the paper's design guidance.
+//
+// Usage:
+//
+//	fsdcost [-neurons N] [-layers L] [-workers P] [-batch B]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fsdinference/internal/cloud/pricing"
+	"fsdinference/internal/cost"
+)
+
+func main() {
+	neurons := flag.Int("neurons", 16384, "neurons per layer (paper scale)")
+	layers := flag.Int("layers", 120, "layer count")
+	workers := flag.Int("workers", 42, "worker parallelism")
+	batch := flag.Int("batch", 10000, "samples per request")
+	flag.Parse()
+
+	nnz := int64(*neurons) * 32 * int64(*layers)
+	modelBytes := nnz*8 + int64(*neurons+1)*4*int64(*layers)
+	// Rough per-pair volume: cut fraction ~10% of a worker's rows, 4 B
+	// per value, batch columns.
+	rowsPerWorker := *neurons / *workers
+	bytesPerPair := int64(float64(rowsPerWorker) * 0.1 * float64(*batch) * 4 * 0.6)
+
+	w := cost.Workload{
+		ModelBytes:           modelBytes,
+		MemOverhead:          5.5,
+		InstanceCapMB:        10240,
+		Workers:              *workers,
+		BytesPerPairPerLayer: bytesPerPair,
+		PairsPerLayer:        int64(*workers) * 6,
+		Layers:               *layers,
+	}
+	adv := cost.Recommend(w)
+	fmt.Printf("workload: N=%d L=%d P=%d batch=%d (model %d MB raw)\n",
+		*neurons, *layers, *workers, *batch, modelBytes>>20)
+	fmt.Printf("recommendation: %s\n", adv.Channel)
+	for _, r := range adv.Reasons {
+		fmt.Printf("  - %s\n", r)
+	}
+
+	cat := pricing.Default()
+	fmt.Printf("\nAPI request cost per layer (pairs=%d):\n", w.PairsPerLayer)
+	fmt.Printf("%12s  %12s  %12s  %8s\n", "bytes/pair", "queue $", "object $", "ratio")
+	for _, bytes := range []int64{16 << 10, 64 << 10, 256 << 10, 1 << 20, 16 << 20, 256 << 20} {
+		q, o := cost.APICost(cat, w.PairsPerLayer, bytes)
+		fmt.Printf("%12d  %12.6f  %12.6f  %8.3f\n", bytes, q, o, q/o)
+	}
+	fmt.Println("\nqueue API requests are ~1 OOM cheaper until volumes saturate publish capacity (§IV-C)")
+}

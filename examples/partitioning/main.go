@@ -1,0 +1,54 @@
+// Partitioning (paper §III, Table III): compare hypergraph partitioning
+// (HGP-DNN) against random placement (RP) and contiguous blocks, both as
+// offline plan statistics and as measured communication volumes of real
+// FSD-Inf-Object runs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsdinference"
+	"fsdinference/internal/partition"
+)
+
+func main() {
+	const (
+		neurons = 512
+		layers  = 8
+		workers = 8
+		batch   = 32
+	)
+	m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(neurons, layers, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := fsdinference.GenerateInputs(neurons, batch, 0.2, 2)
+
+	fmt.Printf("N=%d L=%d P=%d\n\n", neurons, layers, workers)
+	fmt.Printf("%-8s  %13s  %12s  %14s  %12s\n",
+		"scheme", "plan transfers", "bytes sent", "per-sample", "comms $")
+	for _, scheme := range []fsdinference.PartitionScheme{
+		partition.HGPDNN, partition.Random, partition.Block,
+	} {
+		plan, err := fsdinference.BuildPlan(m, workers, scheme, fsdinference.PartitionOptions{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := plan.Stats(m)
+		d, err := fsdinference.Deploy(fsdinference.NewEnv(), fsdinference.Config{
+			Model: m, Plan: plan, Channel: fsdinference.Object,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := d.Infer(input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s  %13d  %12d  %14v  %12.6f\n",
+			scheme, st.RowTransfers, res.TotalBytesSent(), res.PerSample(), res.Cost.Comms())
+	}
+	fmt.Println("\nHGP-DNN minimises the connectivity-1 objective = activation rows crossing workers;")
+	fmt.Println("the paper reports ~1 OOM less data and much faster runs than RP (Table III)")
+}

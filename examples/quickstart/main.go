@@ -1,0 +1,57 @@
+// Quickstart: generate a sparse DNN, deploy FSD-Inference on the simulated
+// cloud, run one request on each variant and verify the outputs against
+// reference inference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsdinference"
+)
+
+func main() {
+	const (
+		neurons = 512
+		layers  = 12
+		workers = 8
+		batch   = 32
+	)
+	fmt.Printf("generating a %d-neuron, %d-layer Graph Challenge-style sparse DNN\n", neurons, layers)
+	m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(neurons, layers, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := fsdinference.GenerateInputs(neurons, batch, 0.2, 2)
+	want := fsdinference.Reference(m, input)
+
+	plan, err := fsdinference.BuildPlan(m, workers, fsdinference.HGPDNN, fsdinference.PartitionOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, kind := range []fsdinference.ChannelKind{
+		fsdinference.Serial, fsdinference.Queue, fsdinference.Object,
+	} {
+		cfg := fsdinference.Config{Model: m, Channel: kind}
+		if kind != fsdinference.Serial {
+			cfg.Plan = plan
+		}
+		d, err := fsdinference.Deploy(fsdinference.NewEnv(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := d.Infer(input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := fsdinference.OutputsClose(res.Output, want, 1e-2)
+		fmt.Printf("\n%-16s P=%-2d latency=%-14v per-sample=%-12v cost=$%.6f verified=%v\n",
+			kind, cfg.Workers(), res.Latency, res.PerSample(), res.Cost.Total(), ok)
+		fmt.Printf("  %s\n", res.Cost)
+		if !ok {
+			log.Fatal("output mismatch")
+		}
+	}
+	fmt.Println("\nall three variants agree with reference inference")
+}

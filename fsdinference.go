@@ -1,0 +1,242 @@
+// Package fsdinference is a faithful reproduction of FSD-Inference (Oakley
+// & Ferhatosmanoglu, ICDE 2024): fully serverless distributed DNN inference
+// with scalable cloud communication, together with the complete simulated
+// cloud substrate it runs on.
+//
+// The package exposes the library's public surface; implementations live in
+// internal packages. A minimal session:
+//
+//	m, _ := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(1024, 120, 1))
+//	plan, _ := fsdinference.BuildPlan(m, 20, fsdinference.HGPDNN, fsdinference.PartitionOptions{Seed: 1})
+//	d, _ := fsdinference.Deploy(fsdinference.NewEnv(), fsdinference.Config{
+//		Model: m, Plan: plan, Channel: fsdinference.Queue,
+//	})
+//	input := fsdinference.GenerateInputs(1024, 64, 0.2, 2)
+//	res, _ := d.Infer(input)
+//	fmt.Println(res.Latency, res.Cost.Total())
+//
+// Everything runs on a deterministic discrete-event simulation of AWS-like
+// services (Lambda, SNS, SQS, S3, EC2): latencies are virtual, costs are
+// metered from billed requests, and the sparse math executes for real so
+// outputs can be checked against Reference.
+package fsdinference
+
+import (
+	"fsdinference/internal/baselines"
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/core"
+	"fsdinference/internal/cost"
+	"fsdinference/internal/experiments"
+	"fsdinference/internal/model"
+	"fsdinference/internal/partition"
+	"fsdinference/internal/sparse"
+)
+
+// Model building blocks.
+type (
+	// Model is a sparse DNN (Graph Challenge-style).
+	Model = model.Model
+	// ModelSpec describes a synthetic sparse DNN.
+	ModelSpec = model.Spec
+	// Dense is a dense activation matrix (rows = neurons, cols = samples).
+	Dense = sparse.Dense
+	// CSR is a compressed sparse row weight matrix.
+	CSR = sparse.CSR
+)
+
+// GraphChallengeSpec returns the paper's benchmark configuration for a
+// neuron count and layer count.
+func GraphChallengeSpec(neurons, layers int, seed int64) ModelSpec {
+	return model.GraphChallengeSpec(neurons, layers, seed)
+}
+
+// GenerateModel builds a deterministic synthetic sparse DNN.
+func GenerateModel(spec ModelSpec) (*Model, error) { return model.Generate(spec) }
+
+// GenerateInputs builds a batch of thresholded sparse inputs.
+func GenerateInputs(neurons, batch int, density float64, seed int64) *Dense {
+	return model.GenerateInputs(neurons, batch, density, seed)
+}
+
+// Reference runs serial float64 inference as ground truth.
+func Reference(m *Model, input *Dense) *Dense { return model.Reference(m, input) }
+
+// OutputsClose compares activation matrices within a tolerance.
+func OutputsClose(a, b *Dense, tol float64) bool { return model.OutputsClose(a, b, tol) }
+
+// Partitioning.
+type (
+	// Plan is an offline model partitioning across P workers.
+	Plan = partition.Plan
+	// PartitionScheme selects Block, Random (RP) or HGPDNN.
+	PartitionScheme = partition.Scheme
+	// PartitionOptions controls plan construction.
+	PartitionOptions = partition.Options
+)
+
+// Partitioning schemes (paper §III, Table III).
+const (
+	Block  = partition.Block
+	Random = partition.Random
+	HGPDNN = partition.HGPDNN
+)
+
+// BuildPlan partitions a model across the given worker count.
+func BuildPlan(m *Model, workers int, scheme PartitionScheme, opts PartitionOptions) (*Plan, error) {
+	return partition.BuildPlan(m, workers, scheme, opts)
+}
+
+// Simulated cloud environment.
+type (
+	// Env is one simulated cloud region (Lambda, SNS, SQS, S3, EC2).
+	Env = env.Env
+	// EnvConfig collects per-service configurations.
+	EnvConfig = env.Config
+)
+
+// NewEnv builds an environment with calibrated AWS-like defaults.
+func NewEnv() *Env { return env.NewDefault() }
+
+// NewEnvWith builds an environment from a custom configuration.
+func NewEnvWith(cfg EnvConfig) *Env { return env.New(cfg) }
+
+// DefaultEnvConfig returns the calibrated defaults for customisation.
+func DefaultEnvConfig() EnvConfig { return env.DefaultConfig() }
+
+// The FSD-Inference engine.
+type (
+	// Config describes one FSD-Inference deployment.
+	Config = core.Config
+	// Deployment is a deployed FSD-Inference application.
+	Deployment = core.Deployment
+	// Result reports one inference request.
+	Result = core.Result
+	// WorkerMetrics reports one worker's activity.
+	WorkerMetrics = core.WorkerMetrics
+	// ChannelKind selects the communication variant.
+	ChannelKind = core.ChannelKind
+	// LaunchMode selects the worker-tree launch mechanism.
+	LaunchMode = core.LaunchMode
+)
+
+// Communication variants (paper §III).
+const (
+	Serial = core.Serial
+	Queue  = core.Queue
+	Object = core.Object
+)
+
+// Launch mechanisms (paper §III and the launch ablation).
+const (
+	Hierarchical = core.Hierarchical
+	Centralized  = core.Centralized
+	TwoLevel     = core.TwoLevel
+)
+
+// Deploy validates a configuration, stages the model and creates all
+// communication resources and functions.
+func Deploy(e *Env, cfg Config) (*Deployment, error) { return core.Deploy(e, cfg) }
+
+// Automatic configuration selection (the extension the paper names in
+// §VI-D1: runtime selection of the optimal configuration given latency and
+// cost priorities).
+type (
+	// AutoSelectOptions tunes automatic configuration selection.
+	AutoSelectOptions = core.AutoSelectOptions
+	// Selection reports the chosen configuration and trial measurements.
+	Selection = core.Selection
+)
+
+// AutoSelect trials serial/queue/object candidates across a worker grid and
+// returns the configuration minimising a weighted latency/cost objective.
+func AutoSelect(m *Model, opts AutoSelectOptions) (*Selection, error) {
+	return core.AutoSelect(m, opts)
+}
+
+// DefaultWorkerMemoryMB returns the paper's worker sizing for a neuron
+// count.
+func DefaultWorkerMemoryMB(neurons int) int { return core.DefaultWorkerMemoryMB(neurons) }
+
+// Baselines (paper §VI-A2, §VI-B).
+type (
+	// BaselineResult reports one baseline query.
+	BaselineResult = baselines.Result
+	// SageConfig models a commercial serverless inference endpoint.
+	SageConfig = baselines.SageConfig
+	// HSpFFConfig describes the simulated HPC cluster.
+	HSpFFConfig = baselines.HSpFFConfig
+	// LoadSource says where a server finds the model weights.
+	LoadSource = baselines.LoadSource
+)
+
+// Model load sources for the always-on baseline.
+const (
+	FromMemory = baselines.FromMemory
+	FromEBS    = baselines.FromEBS
+	FromS3     = baselines.FromS3
+)
+
+// RunAlwaysOn serves one query on an always-on server.
+func RunAlwaysOn(e *Env, m *Model, input *Dense, load LoadSource) (*BaselineResult, error) {
+	return baselines.RunAlwaysOn(e, m, input, load)
+}
+
+// RunJobScoped provisions a right-sized server per query.
+func RunJobScoped(e *Env, m *Model, input *Dense) (*BaselineResult, error) {
+	return baselines.RunJobScoped(e, m, input)
+}
+
+// RunHSpFF runs the optimised HPC comparison system.
+func RunHSpFF(e *Env, m *Model, plan *Plan, input *Dense, cfg HSpFFConfig) (*BaselineResult, error) {
+	return baselines.RunHSpFF(e, m, plan, input, cfg)
+}
+
+// RunSageSL serves a batch through a constrained serverless endpoint.
+func RunSageSL(e *Env, m *Model, input *Dense, cfg SageConfig) (*BaselineResult, error) {
+	return baselines.RunSageSL(e, m, input, cfg)
+}
+
+// DefaultSageConfig returns the published endpoint limits.
+func DefaultSageConfig() SageConfig { return baselines.DefaultSageConfig() }
+
+// DefaultHSpFFConfig returns an InfiniBand-class cluster of the given size.
+func DefaultHSpFFConfig(nodes int) HSpFFConfig { return baselines.DefaultHSpFFConfig(nodes) }
+
+// Cost model (paper §IV).
+type (
+	// CostWorkload describes a workload for channel recommendation.
+	CostWorkload = cost.Workload
+	// CostAdvice is a channel recommendation with reasoning.
+	CostAdvice = cost.Advice
+)
+
+// Recommend selects a communication channel per the paper's §IV-C design
+// recommendations.
+func Recommend(w CostWorkload) CostAdvice { return cost.Recommend(w) }
+
+// Experiments (paper §VI).
+type (
+	// Experiment is one registered table/figure regenerator.
+	Experiment = experiments.Runner
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = experiments.Table
+	// ExperimentScale configures the evaluation grid.
+	ExperimentScale = experiments.Scale
+	// ExperimentLab caches artifacts across experiments.
+	ExperimentLab = experiments.Lab
+)
+
+// Experiments lists every table/figure regenerator in paper order.
+func Experiments() []Experiment { return experiments.Registry() }
+
+// FindExperiment returns the runner with the given id ("fig4", "table2"...).
+func FindExperiment(id string) (Experiment, bool) { return experiments.Find(id) }
+
+// NewExperimentLab builds a lab for the given scale.
+func NewExperimentLab(s ExperimentScale) *ExperimentLab { return experiments.NewLab(s) }
+
+// DefaultExperimentScale is the standard scaled evaluation grid.
+func DefaultExperimentScale() ExperimentScale { return experiments.DefaultScale() }
+
+// QuickExperimentScale is a reduced grid for fast runs.
+func QuickExperimentScale() ExperimentScale { return experiments.QuickScale() }

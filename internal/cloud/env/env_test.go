@@ -1,0 +1,49 @@
+package env
+
+import (
+	"testing"
+
+	"fsdinference/internal/cloud/sqs"
+	"fsdinference/internal/sim"
+)
+
+func TestNewDefaultWiresAllServices(t *testing.T) {
+	e := NewDefault()
+	if e.K == nil || e.Meter == nil || e.FaaS == nil || e.SNS == nil ||
+		e.SQS == nil || e.S3 == nil || e.EC2 == nil {
+		t.Fatal("environment not fully wired")
+	}
+	if e.Pricing.LambdaGBSecond <= 0 {
+		t.Fatal("pricing catalogue missing")
+	}
+}
+
+func TestServicesShareKernelAndMeter(t *testing.T) {
+	e := NewDefault()
+	// A queue send must land on the shared meter and advance only the
+	// shared kernel's clock.
+	q := e.SQS.CreateQueue("q")
+	e.K.Go("w", func(p *sim.Proc) {
+		q.Send(p, sqs.Message{Body: []byte("m")})
+		b := e.S3.CreateBucket("b")
+		b.Put(p, "k", []byte("x"))
+	})
+	if err := e.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Meter.SQSSendCalls != 1 || e.Meter.S3PutCalls != 1 {
+		t.Fatalf("meter not shared: %+v", e.Meter)
+	}
+	if e.K.Now() == 0 {
+		t.Fatal("kernel clock did not advance")
+	}
+}
+
+func TestCustomConfigApplied(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FaaS.MaxMemoryMB = 4096
+	e := New(cfg)
+	if e.FaaS.Config().MaxMemoryMB != 4096 {
+		t.Fatal("custom FaaS config ignored")
+	}
+}

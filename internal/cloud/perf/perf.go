@@ -1,0 +1,69 @@
+// Package perf holds the calibrated performance model shared by the compute
+// substrates (FaaS instances and EC2 servers).
+//
+// The simulator executes the real sparse kernels for correctness, but
+// latencies are reported in virtual time: each unit of work (multiply-adds,
+// element-wise ops, bytes serialised/compressed) is charged at a calibrated
+// rate. Rates model the paper's Python 3.8 + SciPy workers and are calibrated
+// so FSD-Inf-Serial per-sample times land on the paper's Table II
+// measurements: at N=1024 the paper reports 2.00 ms/sample on a 10,240 MB
+// Lambda (~5.79 vCPU); the 120-layer model performs ~3.93M multiply-adds per
+// sample, giving ~340M MAC/s per vCPU, which also predicts the paper's
+// N=4096 (7.88 ms) and N=16384 (32.62 ms) serial times within 2%.
+package perf
+
+// Model is the calibrated performance model for simulated compute.
+type Model struct {
+	// MACRatePerVCPU is sparse matrix multiply-adds per second per vCPU.
+	MACRatePerVCPU float64
+	// ElemRatePerVCPU is element-wise ops (bias add, ReLU, threshold)
+	// per second per vCPU.
+	ElemRatePerVCPU float64
+	// SerializeBytesPerSec is the per-vCPU rate for packing/unpacking
+	// row payloads.
+	SerializeBytesPerSec float64
+	// CompressBytesPerSec and DecompressBytesPerSec are per-vCPU zlib
+	// throughputs.
+	CompressBytesPerSec   float64
+	DecompressBytesPerSec float64
+
+	// MemOverheadWeights multiplies raw weight bytes to model the
+	// Python/SciPy in-memory footprint (parse buffers, object headers).
+	// Calibrated so the N=65536 model (≈2 GB raw CSR) does not fit the
+	// 10,240 MB Lambda cap, matching §VI-D, while N=16384 (≈0.5 GB raw)
+	// fits the 6 GB SageMaker cap.
+	MemOverheadWeights float64
+	// MemOverheadData multiplies raw activation/input bytes.
+	MemOverheadData float64
+
+	// MBPerVCPU is the Lambda memory-to-vCPU proportionality constant:
+	// one full vCPU per 1,769 MB of configured memory.
+	MBPerVCPU float64
+	// MaxVCPU caps the vCPU allocation (6 at 10,240 MB).
+	MaxVCPU float64
+}
+
+// Default returns the calibrated model described in the package comment.
+func Default() Model {
+	return Model{
+		MACRatePerVCPU:        3.4e8,
+		ElemRatePerVCPU:       3.4e9,
+		SerializeBytesPerSec:  500e6,
+		CompressBytesPerSec:   150e6,
+		DecompressBytesPerSec: 300e6,
+		MemOverheadWeights:    5.5,
+		MemOverheadData:       2.0,
+		MBPerVCPU:             1769,
+		MaxVCPU:               6,
+	}
+}
+
+// VCPUs returns the vCPU allocation for a FaaS instance configured with
+// memMB megabytes of memory.
+func (m Model) VCPUs(memMB int) float64 {
+	v := float64(memMB) / m.MBPerVCPU
+	if v > m.MaxVCPU {
+		v = m.MaxVCPU
+	}
+	return v
+}

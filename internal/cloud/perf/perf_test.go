@@ -1,0 +1,57 @@
+package perf
+
+import "testing"
+
+func TestCalibrationMatchesPaperSerialTimes(t *testing.T) {
+	// The model is calibrated so FSD-Inf-Serial per-sample times land on
+	// Table II: per-sample MACs / (rate x 10GB-instance vCPUs).
+	m := Default()
+	vcpus := m.VCPUs(10240)
+	cases := []struct {
+		neurons  int
+		paperMS  float64
+		tolerate float64
+	}{
+		{1024, 2.00, 0.5},
+		{4096, 7.88, 2.0},
+		{16384, 32.62, 8.0},
+	}
+	for _, c := range cases {
+		macs := float64(c.neurons) * 32 * 120 // dense-activation upper bound
+		sec := macs / (m.MACRatePerVCPU * vcpus)
+		gotMS := sec * 1000
+		if gotMS < c.paperMS-c.tolerate || gotMS > c.paperMS+c.tolerate {
+			t.Errorf("N=%d: calibrated %.2f ms/sample, paper %.2f", c.neurons, gotMS, c.paperMS)
+		}
+	}
+}
+
+func TestVCPUMonotoneAndCapped(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for _, mem := range []int{128, 512, 1769, 4096, 10240} {
+		v := m.VCPUs(mem)
+		if v <= prev {
+			t.Fatalf("VCPUs not monotone at %d MB", mem)
+		}
+		prev = v
+	}
+	if m.VCPUs(1_000_000) != m.MaxVCPU {
+		t.Fatal("cap not applied")
+	}
+}
+
+func TestMemoryOverheadGates(t *testing.T) {
+	m := Default()
+	// N=65536 raw CSR ~2.01 GB; with overhead it must exceed the 10,240 MB
+	// Lambda cap (the paper's serial OOM) but N=16384 (~0.5 GB raw) must
+	// fit the 6 GB endpoint.
+	big := float64(65536*32*120*8) * m.MemOverheadWeights
+	if big <= 10240*float64(1<<20) {
+		t.Fatalf("N=65536 fits the serial instance (%.1f GB); paper says OOM", big/(1<<30))
+	}
+	mid := float64(16384*32*120*8) * m.MemOverheadWeights
+	if mid > 6144*float64(1<<20) {
+		t.Fatalf("N=16384 exceeds the 6 GB endpoint (%.1f GB); paper says it fits", mid/(1<<30))
+	}
+}

@@ -1,0 +1,77 @@
+// Package pricing holds the cloud price catalogue used by the FSD-Inference
+// cost model (paper §IV) and by the usage meter when converting metered
+// request/byte/GB-second counts into billed dollars.
+//
+// Defaults follow the published AWS us-east-1 on-demand prices referenced by
+// the paper (Lambda, SNS, SQS, S3 request pricing and EC2 c5 instances).
+// Every field is overridable so experiments can test price sensitivity
+// (e.g. the paper's observation that pub-sub/queueing API calls are roughly
+// one order of magnitude cheaper than object storage requests).
+package pricing
+
+// Catalog is a complete set of unit prices, in US dollars.
+type Catalog struct {
+	// LambdaInvoke is the static cost per function invocation
+	// (C_lambda(Inv) in the paper; $0.20 per million).
+	LambdaInvoke float64
+	// LambdaGBSecond is the cost per GB-second of function runtime
+	// (C_lambda(Run) expressed per GB-s rather than MB-s).
+	LambdaGBSecond float64
+
+	// SNSPublish is the cost per billed publish request (C_SNS(Pub)).
+	// Publishes are billed in 64 KiB increments: a 256 KB batch counts
+	// as four requests.
+	SNSPublish float64
+	// SNSByte is the cost per byte transferred from the pub-sub service
+	// to the queueing service (C_SNS(Byte)).
+	SNSByte float64
+
+	// SQSRequest is the cost per queueing API request (C_SQS(API)).
+	SQSRequest float64
+
+	// S3Put, S3Get and S3List are per-request object storage prices
+	// (C_S3(Put), C_S3(Get), C_S3(List)). They are independent of object
+	// size, which is what makes object-storage costs grow linearly with
+	// worker parallelism (paper §VI-D1).
+	S3Put  float64
+	S3Get  float64
+	S3List float64
+
+	// EC2Hourly maps instance type to on-demand hourly price, for the
+	// server-based baselines (paper §VI-A2).
+	EC2Hourly map[string]float64
+}
+
+// PublishIncrement is the SNS billing increment: each started 64 KiB chunk
+// of a publish payload is billed as one request.
+const PublishIncrement = 64 * 1024
+
+// Default returns the AWS us-east-1 price catalogue used throughout the
+// paper's evaluation.
+func Default() Catalog {
+	return Catalog{
+		LambdaInvoke:   0.20 / 1e6,
+		LambdaGBSecond: 0.0000166667,
+		SNSPublish:     0.50 / 1e6,
+		SNSByte:        0.09 / 1e9, // $0.09/GB SNS->SQS transfer
+		SQSRequest:     0.40 / 1e6,
+		S3Put:          0.005 / 1e3,
+		S3Get:          0.0004 / 1e3,
+		S3List:         0.005 / 1e3,
+		EC2Hourly: map[string]float64{
+			"c5.2xlarge":  0.34,
+			"c5.9xlarge":  1.53,
+			"c5.12xlarge": 2.04,
+		},
+	}
+}
+
+// BilledPublishRequests returns the number of billed SNS requests for a
+// publish call carrying totalBytes of payload, per the 64 KiB increment
+// rule. A zero-byte publish still bills one request.
+func BilledPublishRequests(totalBytes int64) int64 {
+	if totalBytes <= 0 {
+		return 1
+	}
+	return (totalBytes + PublishIncrement - 1) / PublishIncrement
+}

@@ -1,0 +1,45 @@
+package pricing
+
+import "testing"
+
+func TestDefaultCatalogueMagnitudes(t *testing.T) {
+	c := Default()
+	// The §IV-C relationship the design recommendations depend on:
+	// pub-sub/queueing API requests are ~1 OOM cheaper than object
+	// storage PUT/LIST requests.
+	if c.SNSPublish*9 > c.S3Put {
+		t.Fatalf("SNS publish %v not ~1 OOM below S3 PUT %v", c.SNSPublish, c.S3Put)
+	}
+	if c.SQSRequest*9 > c.S3List {
+		t.Fatalf("SQS request %v not ~1 OOM below S3 LIST %v", c.SQSRequest, c.S3List)
+	}
+	// GETs are the cheap S3 request class.
+	if c.S3Get >= c.S3Put {
+		t.Fatal("S3 GET should be cheaper than PUT")
+	}
+	// EC2 baseline types priced.
+	for _, typ := range []string{"c5.2xlarge", "c5.9xlarge", "c5.12xlarge"} {
+		if c.EC2Hourly[typ] <= 0 {
+			t.Fatalf("%s unpriced", typ)
+		}
+	}
+	if c.EC2Hourly["c5.12xlarge"] <= c.EC2Hourly["c5.2xlarge"] {
+		t.Fatal("bigger instance should cost more")
+	}
+}
+
+func TestBilledPublishIncrements(t *testing.T) {
+	// 64 KiB increments; zero-byte publishes still bill one request.
+	cases := map[int64]int64{
+		0:          1,
+		1:          1,
+		64 << 10:   1,
+		64<<10 + 1: 2,
+		256 << 10:  4,
+	}
+	for bytes, want := range cases {
+		if got := BilledPublishRequests(bytes); got != want {
+			t.Errorf("BilledPublishRequests(%d) = %d, want %d", bytes, got, want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package usage meters simulated cloud resource consumption. It is the
+// in-simulation equivalent of the "detailed AWS Cost and Usage reports" the
+// paper uses to validate its cost model (§VI-F): services record every
+// billable event here, and the meter converts the raw counts into billed
+// line items using a pricing.Catalog.
+//
+// The simulation kernel runs one process at a time, so the meter needs no
+// locking.
+package usage
+
+import (
+	"fmt"
+	"strings"
+
+	"fsdinference/internal/cloud/pricing"
+)
+
+// Meter accumulates billable usage counts for one simulation run.
+type Meter struct {
+	// Lambda.
+	LambdaInvocations int64
+	LambdaGBSeconds   float64
+
+	// SNS.
+	SNSPublishCalls    int64 // raw PublishBatch API calls
+	SNSBilledPublishes int64 // 64 KiB-increment billed requests (S in the paper)
+	SNSMessages        int64 // individual messages published
+	SNSDeliveredBytes  int64 // bytes delivered SNS->SQS (Z in the paper)
+
+	// SQS. Receives+deletes+sends are the billed API calls (Q).
+	SQSReceiveCalls int64
+	SQSDeleteCalls  int64
+	SQSSendCalls    int64 // fan-out deliveries from SNS; billing configurable
+	SQSBillFanout   bool  // whether fan-out sends count toward Q
+
+	// S3.
+	S3PutCalls  int64 // V in the paper
+	S3GetCalls  int64 // R in the paper
+	S3ListCalls int64 // L in the paper
+	S3BytesIn   int64
+	S3BytesOut  int64
+
+	// EC2.
+	EC2Hours map[string]float64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{EC2Hours: make(map[string]float64)}
+}
+
+// AddEC2Hours records h hours of usage for the given instance type.
+func (m *Meter) AddEC2Hours(instanceType string, h float64) {
+	m.EC2Hours[instanceType] += h
+}
+
+// SQSRequests returns Q, the billed queueing API request count.
+func (m *Meter) SQSRequests() int64 {
+	q := m.SQSReceiveCalls + m.SQSDeleteCalls
+	if m.SQSBillFanout {
+		q += m.SQSSendCalls
+	}
+	return q
+}
+
+// Snapshot returns a copy of the meter, for windowed accounting
+// (subtract two snapshots to isolate one experiment's usage).
+func (m *Meter) Snapshot() Meter {
+	c := *m
+	c.EC2Hours = make(map[string]float64, len(m.EC2Hours))
+	for k, v := range m.EC2Hours {
+		c.EC2Hours[k] = v
+	}
+	return c
+}
+
+// Sub returns the usage accumulated since the earlier snapshot prev.
+func (m *Meter) Sub(prev Meter) Meter {
+	d := m.Snapshot()
+	d.LambdaInvocations -= prev.LambdaInvocations
+	d.LambdaGBSeconds -= prev.LambdaGBSeconds
+	d.SNSPublishCalls -= prev.SNSPublishCalls
+	d.SNSBilledPublishes -= prev.SNSBilledPublishes
+	d.SNSMessages -= prev.SNSMessages
+	d.SNSDeliveredBytes -= prev.SNSDeliveredBytes
+	d.SQSReceiveCalls -= prev.SQSReceiveCalls
+	d.SQSDeleteCalls -= prev.SQSDeleteCalls
+	d.SQSSendCalls -= prev.SQSSendCalls
+	d.S3PutCalls -= prev.S3PutCalls
+	d.S3GetCalls -= prev.S3GetCalls
+	d.S3ListCalls -= prev.S3ListCalls
+	d.S3BytesIn -= prev.S3BytesIn
+	d.S3BytesOut -= prev.S3BytesOut
+	for k, v := range prev.EC2Hours {
+		d.EC2Hours[k] -= v
+	}
+	return d
+}
+
+// Breakdown is a billed cost report, one line item per service, mirroring
+// the compute/communication split the paper reports in §VI-F.
+type Breakdown struct {
+	Lambda float64
+	SNS    float64
+	SQS    float64
+	S3     float64
+	EC2    float64
+}
+
+// Comms returns the communication cost (everything except compute).
+func (b Breakdown) Comms() float64 { return b.SNS + b.SQS + b.S3 }
+
+// Total returns the full billed cost.
+func (b Breakdown) Total() float64 { return b.Lambda + b.SNS + b.SQS + b.S3 + b.EC2 }
+
+// String formats the breakdown as a compact dollar report.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "compute $%.4f", b.Lambda+b.EC2)
+	fmt.Fprintf(&sb, ", comms $%.4f", b.Comms())
+	fmt.Fprintf(&sb, " (SNS $%.4f, SQS $%.4f, S3 $%.4f)", b.SNS, b.SQS, b.S3)
+	fmt.Fprintf(&sb, ", total $%.4f", b.Total())
+	return sb.String()
+}
+
+// Cost converts the metered usage into billed dollars under catalogue c.
+func (m *Meter) Cost(c pricing.Catalog) Breakdown {
+	var b Breakdown
+	b.Lambda = float64(m.LambdaInvocations)*c.LambdaInvoke +
+		m.LambdaGBSeconds*c.LambdaGBSecond
+	b.SNS = float64(m.SNSBilledPublishes)*c.SNSPublish +
+		float64(m.SNSDeliveredBytes)*c.SNSByte
+	b.SQS = float64(m.SQSRequests()) * c.SQSRequest
+	b.S3 = float64(m.S3PutCalls)*c.S3Put +
+		float64(m.S3GetCalls)*c.S3Get +
+		float64(m.S3ListCalls)*c.S3List
+	for typ, h := range m.EC2Hours {
+		b.EC2 += h * c.EC2Hourly[typ]
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package usage
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fsdinference/internal/cloud/pricing"
+)
+
+func TestCostBreakdown(t *testing.T) {
+	m := NewMeter()
+	m.LambdaInvocations = 1_000_000
+	m.LambdaGBSeconds = 1000
+	m.SNSBilledPublishes = 1_000_000
+	m.SNSDeliveredBytes = 1e9
+	m.SQSReceiveCalls = 500_000
+	m.SQSDeleteCalls = 500_000
+	m.S3PutCalls = 1000
+	m.S3GetCalls = 10000
+	m.S3ListCalls = 2000
+	m.AddEC2Hours("c5.2xlarge", 10)
+
+	b := m.Cost(pricing.Default())
+	approx := func(got, want float64, what string) {
+		if math.Abs(got-want) > 1e-9+0.001*math.Abs(want) {
+			t.Errorf("%s = %v, want %v", what, got, want)
+		}
+	}
+	approx(b.Lambda, 0.20+1000*0.0000166667, "Lambda")
+	approx(b.SNS, 0.50+0.09, "SNS")
+	approx(b.SQS, 0.40, "SQS")
+	approx(b.S3, 1000*0.005/1e3+10000*0.0004/1e3+2000*0.005/1e3, "S3")
+	approx(b.EC2, 3.4, "EC2")
+	approx(b.Total(), b.Lambda+b.SNS+b.SQS+b.S3+b.EC2, "Total")
+	approx(b.Comms(), b.SNS+b.SQS+b.S3, "Comms")
+}
+
+func TestSQSFanoutBillingToggle(t *testing.T) {
+	m := NewMeter()
+	m.SQSReceiveCalls = 10
+	m.SQSDeleteCalls = 5
+	m.SQSSendCalls = 100
+	if got := m.SQSRequests(); got != 15 {
+		t.Fatalf("Q = %d, want 15 (fan-out sends not billed by default)", got)
+	}
+	m.SQSBillFanout = true
+	if got := m.SQSRequests(); got != 115 {
+		t.Fatalf("Q = %d, want 115 with fan-out billing", got)
+	}
+}
+
+func TestSnapshotSubIsolatesWindow(t *testing.T) {
+	m := NewMeter()
+	m.S3PutCalls = 5
+	m.LambdaGBSeconds = 1.5
+	m.AddEC2Hours("c5.2xlarge", 1)
+	snap := m.Snapshot()
+
+	m.S3PutCalls += 7
+	m.LambdaGBSeconds += 2.5
+	m.AddEC2Hours("c5.2xlarge", 3)
+
+	d := m.Sub(snap)
+	if d.S3PutCalls != 7 {
+		t.Errorf("window puts = %d, want 7", d.S3PutCalls)
+	}
+	if math.Abs(d.LambdaGBSeconds-2.5) > 1e-12 {
+		t.Errorf("window GB-s = %v, want 2.5", d.LambdaGBSeconds)
+	}
+	if math.Abs(d.EC2Hours["c5.2xlarge"]-3) > 1e-12 {
+		t.Errorf("window EC2 hours = %v, want 3", d.EC2Hours["c5.2xlarge"])
+	}
+	// Snapshot is a deep copy: mutating it doesn't touch the live meter.
+	snap.EC2Hours["c5.2xlarge"] = 99
+	if m.EC2Hours["c5.2xlarge"] != 4 {
+		t.Error("snapshot shares EC2Hours map with meter")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Lambda: 0.10, SNS: 0.20, SQS: 0.05, S3: 0.0}
+	s := b.String()
+	for _, want := range []string{"compute $0.1000", "comms $0.2500", "total $0.3500"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestBilledPublishRequests(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		want  int64
+	}{
+		{0, 1}, {1, 1}, {64 * 1024, 1}, {64*1024 + 1, 2},
+		{256 * 1024, 4}, {200 * 1024, 4}, {128 * 1024, 2},
+	}
+	for _, c := range cases {
+		if got := pricing.BilledPublishRequests(c.bytes); got != c.want {
+			t.Errorf("BilledPublishRequests(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}

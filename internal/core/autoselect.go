@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/model"
+	"fsdinference/internal/partition"
+	"fsdinference/internal/sparse"
+)
+
+// The paper closes §VI-D1 with: "these findings (with our cost model) could
+// enable automatic runtime selection of the optimal configuration for
+// specific workloads, given latency and cost priorities". AutoSelect
+// implements that extension: it trials candidate configurations on a
+// scratch simulated environment with a representative probe batch and picks
+// the configuration minimising a weighted latency/cost objective.
+
+// Candidate is one configuration considered by AutoSelect.
+type Candidate struct {
+	Channel ChannelKind
+	Workers int // 1 for serial
+}
+
+// Selection reports the chosen configuration and the trial measurements.
+type Selection struct {
+	Best   Candidate
+	Config Config
+	// Trials lists every candidate's measured probe latency and cost.
+	Trials []Trial
+}
+
+// Trial is one candidate's probe measurement.
+type Trial struct {
+	Candidate Candidate
+	Latency   time.Duration
+	Cost      float64
+	Score     float64
+	Err       error
+}
+
+// AutoSelectOptions tunes the selection.
+type AutoSelectOptions struct {
+	// LatencyWeight in [0,1]: 1 optimises latency only, 0 cost only.
+	LatencyWeight float64
+	// Workers lists parallelism levels to trial (default 8, 20, 42, 62).
+	Workers []int
+	// ProbeBatch is the probe request size (default 32).
+	ProbeBatch int
+	// Scheme is the partitioning used for parallel candidates
+	// (default HGPDNN).
+	Scheme partition.Scheme
+	// Seed drives probe generation.
+	Seed int64
+}
+
+func (o AutoSelectOptions) withDefaults() AutoSelectOptions {
+	if o.LatencyWeight < 0 {
+		o.LatencyWeight = 0
+	}
+	if o.LatencyWeight > 1 {
+		o.LatencyWeight = 1
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{8, 20, 42, 62}
+	}
+	if o.ProbeBatch <= 0 {
+		o.ProbeBatch = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// AutoSelect trials serial execution (when the model fits a single
+// instance) plus queue and object channels across the worker grid, and
+// returns the candidate minimising
+//
+//	LatencyWeight·(latency/minLatency) + (1-LatencyWeight)·(cost/minCost).
+//
+// Trials run on fresh scratch environments; the returned Config is ready to
+// Deploy on the caller's environment.
+func AutoSelect(m *model.Model, opts AutoSelectOptions) (*Selection, error) {
+	opts = opts.withDefaults()
+	probe := model.GenerateInputs(m.Spec.Neurons, opts.ProbeBatch, 0.2, opts.Seed)
+
+	var cands []Candidate
+	perf := env.DefaultConfig().FaaS.Perf
+	if float64(m.WeightBytes())*perf.MemOverheadWeights <= 10240*float64(1<<20) {
+		cands = append(cands, Candidate{Channel: Serial, Workers: 1})
+	}
+	for _, p := range opts.Workers {
+		if p < 2 || p > m.Spec.Neurons {
+			continue
+		}
+		cands = append(cands,
+			Candidate{Channel: Queue, Workers: p},
+			Candidate{Channel: Object, Workers: p})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: no feasible candidates for N=%d", m.Spec.Neurons)
+	}
+
+	sel := &Selection{}
+	plans := make(map[int]*partition.Plan)
+	for _, c := range cands {
+		tr := Trial{Candidate: c}
+		res, err := trialRun(m, c, plans, probe, opts)
+		if err != nil {
+			tr.Err = err
+		} else {
+			tr.Latency = res.Latency
+			tr.Cost = res.Cost.Total()
+		}
+		sel.Trials = append(sel.Trials, tr)
+	}
+
+	minLat, minCost := time.Duration(0), 0.0
+	for _, tr := range sel.Trials {
+		if tr.Err != nil {
+			continue
+		}
+		if minLat == 0 || tr.Latency < minLat {
+			minLat = tr.Latency
+		}
+		if minCost == 0 || tr.Cost < minCost {
+			minCost = tr.Cost
+		}
+	}
+	if minLat == 0 {
+		return nil, fmt.Errorf("core: every candidate failed; first error: %w", sel.Trials[0].Err)
+	}
+	bestIdx := -1
+	for i := range sel.Trials {
+		tr := &sel.Trials[i]
+		if tr.Err != nil {
+			continue
+		}
+		tr.Score = opts.LatencyWeight*float64(tr.Latency)/float64(minLat) +
+			(1-opts.LatencyWeight)*tr.Cost/minCost
+		if bestIdx < 0 || tr.Score < sel.Trials[bestIdx].Score {
+			bestIdx = i
+		}
+	}
+	sel.Best = sel.Trials[bestIdx].Candidate
+	sel.Config = Config{Model: m, Channel: sel.Best.Channel, PollWait: 2 * time.Second}
+	if sel.Best.Channel != Serial {
+		sel.Config.Plan = plans[sel.Best.Workers]
+	}
+	return sel, nil
+}
+
+func trialRun(m *model.Model, c Candidate, plans map[int]*partition.Plan, probe *sparse.Dense, opts AutoSelectOptions) (*Result, error) {
+	cfg := Config{Model: m, Channel: c.Channel, PollWait: 2 * time.Second}
+	if c.Channel != Serial {
+		plan, ok := plans[c.Workers]
+		if !ok {
+			var err error
+			plan, err = partition.BuildPlan(m, c.Workers, opts.Scheme, partition.Options{Seed: opts.Seed})
+			if err != nil {
+				return nil, err
+			}
+			plans[c.Workers] = plan
+		}
+		cfg.Plan = plan
+	}
+	d, err := Deploy(env.NewDefault(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return d.Infer(probe)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/model"
+)
+
+func autoModel(t *testing.T) *model.Model {
+	t.Helper()
+	m, err := model.Generate(model.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAutoSelectPicksSerialForSmallLatencyFocusedModels(t *testing.T) {
+	m := autoModel(t)
+	sel, err := AutoSelect(m, AutoSelectOptions{
+		LatencyWeight: 1.0,
+		Workers:       []int{4, 8},
+		ProbeBatch:    8,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 256-neuron model fits one instance; with comm latencies on the
+	// query path, serial is fastest (paper §IV-C recommendation).
+	if sel.Best.Channel != Serial {
+		t.Fatalf("selected %v P=%d, want serial", sel.Best.Channel, sel.Best.Workers)
+	}
+	if len(sel.Trials) != 1+2*2 {
+		t.Fatalf("trials = %d, want serial + 2 channels x 2 P", len(sel.Trials))
+	}
+	// The returned config must deploy and run.
+	d, err := Deploy(env.NewDefault(), sel.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := model.GenerateInputs(256, 8, 0.2, 2)
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.OutputsClose(res.Output, model.Reference(m, input), 1e-2) {
+		t.Fatal("selected config produced wrong output")
+	}
+}
+
+func TestAutoSelectCostPriorityAvoidsObject(t *testing.T) {
+	m := autoModel(t)
+	sel, err := AutoSelect(m, AutoSelectOptions{
+		LatencyWeight: 0.0, // cost only
+		Workers:       []int{8},
+		ProbeBatch:    8,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object storage is the most expensive candidate at this scale
+	// (per-request pricing, §VI-D1); a pure cost objective must not pick
+	// it.
+	if sel.Best.Channel == Object {
+		t.Fatalf("cost-prioritised selection picked the object channel")
+	}
+	// Trials carry comparable scores.
+	for _, tr := range sel.Trials {
+		if tr.Err == nil && tr.Score <= 0 {
+			t.Fatalf("trial %+v has no score", tr.Candidate)
+		}
+	}
+}
+
+func TestAutoSelectSkipsInfeasibleWorkerCounts(t *testing.T) {
+	m := autoModel(t)
+	sel, err := AutoSelect(m, AutoSelectOptions{
+		Workers:    []int{1, 300}, // both infeasible as parallel candidates
+		ProbeBatch: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best.Channel != Serial {
+		t.Fatalf("only serial was feasible, picked %v", sel.Best.Channel)
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fsdinference/internal/cloud/s3"
+	"fsdinference/internal/sim"
+	"fsdinference/internal/wire"
+)
+
+// objectChannel implements FSD-Inf-Object (Algorithm 2): each worker writes
+// a single object per target per layer — "{m}_{n}.dat" with data, or a
+// zero-byte "{m}_{n}.nul" when it has nothing to communicate — into the
+// target-keyed bucket bucket-{n%B} under the "{layer}/{n}/" prefix. Targets
+// repeatedly LIST their own prefix, skip ".nul" markers and already-received
+// sources, and GET the remaining objects from parallel threads. Multiple
+// buckets and prefixes spread I/O to stay inside provider API quotas.
+type objectChannel struct{}
+
+func (oc *objectChannel) bucketFor(w *worker, target int32) *s3.Bucket {
+	return w.d.buckets[int(target)%len(w.d.buckets)]
+}
+
+func (oc *objectChannel) dataKey(w *worker, phase string, layer int, src, target int32, empty bool) string {
+	ext := ".dat"
+	if empty {
+		ext = ".nul"
+	}
+	return fmt.Sprintf("%s/%s/%d/%d/%d_%d%s", w.run.id, phase, layer, target, src, target, ext)
+}
+
+func (oc *objectChannel) prefix(w *worker, phase string, layer int, target int32) string {
+	return fmt.Sprintf("%s/%s/%d/%d/", w.run.id, phase, layer, target)
+}
+
+// put writes one object for each (target, rows) entry from the thread pool.
+func (oc *objectChannel) put(w *worker, phase string, layer int, outs []targetRows) error {
+	tasks := make([]func(p *sim.Proc) error, 0, len(outs))
+	for _, out := range outs {
+		out := out
+		bucket := oc.bucketFor(w, out.target)
+		if out.rs.Len() == 0 {
+			key := oc.dataKey(w, phase, layer, w.id, out.target, true)
+			tasks = append(tasks, func(p *sim.Proc) error { return bucket.Put(p, key, nil) })
+			w.metrics.MessagesSent++
+			w.metrics.Publishes++
+			continue
+		}
+		if w.d.Cfg.Compress {
+			w.ctx.Compress(out.rs.RawBytes())
+		}
+		body, err := wire.Encode(out.rs, w.d.Cfg.Compress)
+		if err != nil {
+			return err
+		}
+		key := oc.dataKey(w, phase, layer, w.id, out.target, false)
+		w.metrics.BytesSent += int64(len(body))
+		w.metrics.MessagesSent++
+		w.metrics.Publishes++
+		tasks = append(tasks, func(p *sim.Proc) error { return bucket.Put(p, key, body) })
+	}
+	return w.threads("put", tasks)
+}
+
+func (oc *objectChannel) send(w *worker, layer int, outs []targetRows) error {
+	return oc.put(w, "data", layer, outs)
+}
+
+func (oc *objectChannel) receive(w *worker, layer int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error {
+	return oc.scanCollect(w, "data", layer, sources, deliver)
+}
+
+// scanCollect runs the Algorithm 2 receive loop: repeatedly scan the
+// worker's single bucket/prefix, drop ".nul" markers, ignore files from
+// already-received sources, and fetch the rest in parallel threads.
+func (oc *objectChannel) scanCollect(w *worker, phase string, layer int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error {
+	bucket := oc.bucketFor(w, w.id)
+	prefix := oc.prefix(w, phase, layer, w.id)
+	remaining := make(map[int32]bool, len(sources))
+	for _, s := range sources {
+		remaining[s] = true
+	}
+	for len(remaining) > 0 {
+		if w.ctx.Remaining() <= 0 {
+			return fmt.Errorf("core: worker %d out of runtime scanning %s/layer %d", w.id, phase, layer)
+		}
+		keys := bucket.List(w.ctx.P, prefix)
+		w.metrics.Polls++
+		var fetch []string
+		var fetchSrc []int32
+		for _, key := range keys {
+			src, ext, ok := parseObjectKey(key)
+			if !ok || !remaining[src] {
+				continue // foreign or already-received source
+			}
+			if ext == ".nul" {
+				delete(remaining, src) // nothing to read (Algorithm 2 line 14)
+				continue
+			}
+			delete(remaining, src)
+			fetch = append(fetch, key)
+			fetchSrc = append(fetchSrc, src)
+		}
+		bodies := make([][]byte, len(fetch))
+		w.metrics.Fetches += int64(len(fetch))
+		tasks := make([]func(p *sim.Proc) error, len(fetch))
+		for i, key := range fetch {
+			i, key := i, key
+			tasks[i] = func(p *sim.Proc) error {
+				b, err := bucket.Get(p, key)
+				if err != nil {
+					return err
+				}
+				bodies[i] = b
+				return nil
+			}
+		}
+		if err := w.threads("get", tasks); err != nil {
+			return err
+		}
+		for i, body := range bodies {
+			rs, err := w.decodePayload(body)
+			if err != nil {
+				return err
+			}
+			if deliver != nil && rs.Len() > 0 {
+				deliver(fetchSrc[i], rs)
+			}
+		}
+	}
+	return nil
+}
+
+// parseObjectKey extracts the source worker id and extension from a
+// ".../{src}_{target}.{dat|nul}" object key.
+func parseObjectKey(key string) (int32, string, bool) {
+	base := key
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	var ext string
+	switch {
+	case strings.HasSuffix(base, ".dat"):
+		ext = ".dat"
+	case strings.HasSuffix(base, ".nul"):
+		ext = ".nul"
+	default:
+		return 0, "", false
+	}
+	base = strings.TrimSuffix(base, ext)
+	us := strings.IndexByte(base, '_')
+	if us < 0 {
+		return 0, "", false
+	}
+	src, err := strconv.Atoi(base[:us])
+	if err != nil {
+		return 0, "", false
+	}
+	return int32(src), ext, true
+}
+
+// barrier synchronises via sentinel objects in worker 0's bucket: every
+// non-root writes a marker, the root scans until all are present, then
+// writes a "go" object that the others poll for.
+func (oc *objectChannel) barrier(w *worker) error {
+	p := w.d.Cfg.Workers()
+	if w.id != 0 {
+		if err := oc.put(w, "barrier", 0, []targetRows{{target: 0, rs: wire.NewRowSet(w.run.batch)}}); err != nil {
+			return err
+		}
+		// Poll for the root's go marker.
+		bucket := oc.bucketFor(w, 0)
+		goKey := w.run.id + "/ctrl/go"
+		for {
+			if w.ctx.Remaining() <= 0 {
+				return fmt.Errorf("core: worker %d out of runtime at barrier", w.id)
+			}
+			keys := bucket.List(w.ctx.P, goKey)
+			w.metrics.Polls++
+			if len(keys) > 0 {
+				return nil
+			}
+		}
+	}
+	srcs := make([]int32, 0, p-1)
+	for m := 1; m < p; m++ {
+		srcs = append(srcs, int32(m))
+	}
+	if err := oc.scanCollect(w, "barrier", 0, srcs, nil); err != nil {
+		return err
+	}
+	bucket := oc.bucketFor(w, 0)
+	w.metrics.Publishes++
+	return bucket.Put(w.ctx.P, w.run.id+"/ctrl/go", nil)
+}
+
+func (oc *objectChannel) reduceSend(w *worker, rs *wire.RowSet) error {
+	return oc.put(w, "reduce", 0, []targetRows{{target: 0, rs: rs}})
+}
+
+func (oc *objectChannel) reduceGather(w *worker, expect int, deliver func(src int32, rs *wire.RowSet)) error {
+	srcs := make([]int32, 0, expect)
+	for m := 1; m <= expect; m++ {
+		srcs = append(srcs, int32(m))
+	}
+	return oc.scanCollect(w, "reduce", 0, srcs, deliver)
+}

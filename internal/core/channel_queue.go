@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"fsdinference/internal/cloud/pricing"
+	"fsdinference/internal/cloud/sqs"
+	"fsdinference/internal/sim"
+	"fsdinference/internal/wire"
+)
+
+// queueChannel implements FSD-Inf-Queue (Algorithm 1): outgoing row sets
+// are chunked into size-limited byte strings, packed into publish batches
+// (up to 10 messages, possibly for different targets, to maximise payload
+// utilisation and minimise billed publishes), and published to the
+// source-keyed topic topic-{m%T} from parallel threads. The pub-sub service
+// distributes each message to the target's dedicated queue via filter
+// policies; targets long-poll their queue and delete after processing.
+type queueChannel struct{}
+
+// attrOverhead approximates the billed bytes of message attributes.
+const attrOverhead = 96
+
+func (qc *queueChannel) chunkLimit(w *worker) int {
+	return w.d.Env.SNS.Config().MaxPayloadBytes - attrOverhead
+}
+
+// buildMessages encodes one target's row set into chunked messages carrying
+// the paper's attributes: source worker id, total byte strings for this
+// (source, target, layer), and the message layer.
+func (qc *queueChannel) buildMessages(w *worker, kind string, layer int, target int32, rs *wire.RowSet) ([]sqs.Message, error) {
+	if w.d.Cfg.Compress {
+		w.ctx.Compress(rs.RawBytes())
+	}
+	chunks, err := wire.EncodeChunks(rs, qc.chunkLimit(w), w.d.Cfg.Compress)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]sqs.Message, len(chunks))
+	for i, c := range chunks {
+		msgs[i] = sqs.Message{
+			Body: c,
+			Attributes: map[string]string{
+				"run":    w.run.id,
+				"kind":   kind,
+				"layer":  strconv.Itoa(layer),
+				"src":    strconv.Itoa(int(w.id)),
+				"target": strconv.Itoa(int(target)),
+				"chunks": strconv.Itoa(len(chunks)),
+				"seq":    strconv.Itoa(i),
+			},
+		}
+		w.metrics.BytesSent += int64(len(c))
+		w.metrics.AttrBytes += int64(msgs[i].Size() - len(c))
+	}
+	w.metrics.MessagesSent += int64(len(msgs))
+	return msgs, nil
+}
+
+// packBatches greedily packs messages (possibly for different targets) into
+// publish batches respecting the service's entry-count and payload limits —
+// a single publish can serve up to 10 targets at once (§IV-C).
+func (qc *queueChannel) packBatches(w *worker, msgs []sqs.Message) [][]sqs.Message {
+	cfg := w.d.Env.SNS.Config()
+	var batches [][]sqs.Message
+	var cur []sqs.Message
+	size := 0
+	for _, m := range msgs {
+		sz := m.Size()
+		if len(cur) > 0 && (len(cur) >= cfg.MaxBatchEntries || size+sz > cfg.MaxPayloadBytes) {
+			batches = append(batches, cur)
+			cur, size = nil, 0
+		}
+		cur = append(cur, m)
+		size += sz
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
+}
+
+// publish ships batches to this worker's source-keyed topic from the
+// communication thread pool, keeping the worker-side billed-publish ledger
+// used by the cost-model validation.
+func (qc *queueChannel) publish(w *worker, batches [][]sqs.Message) error {
+	topic := w.d.topics[int(w.id)%len(w.d.topics)]
+	tasks := make([]func(p *sim.Proc) error, len(batches))
+	for i, b := range batches {
+		b := b
+		var bytes int64
+		for _, m := range b {
+			bytes += int64(m.Size())
+		}
+		w.metrics.BilledPublishes += pricing.BilledPublishRequests(bytes)
+		tasks[i] = func(p *sim.Proc) error { return topic.PublishBatch(p, b) }
+	}
+	w.metrics.Publishes += int64(len(batches))
+	return w.threads("pub", tasks)
+}
+
+func (qc *queueChannel) send(w *worker, layer int, outs []targetRows) error {
+	var msgs []sqs.Message
+	for _, out := range outs {
+		ms, err := qc.buildMessages(w, "data", layer, out.target, out.rs)
+		if err != nil {
+			return err
+		}
+		msgs = append(msgs, ms...)
+	}
+	return qc.publish(w, qc.packBatches(w, msgs))
+}
+
+func (qc *queueChannel) receive(w *worker, layer int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error {
+	return qc.collect(w, "data", layer, sources, deliver)
+}
+
+// collect runs the Algorithm 1 receive loop for any message kind: poll the
+// worker's dedicated queue, deliver matching messages, buffer messages for
+// future phases (a fast source may already be publishing the next layer),
+// and delete processed messages. A source is complete when all its
+// announced byte strings for this (kind, layer) have arrived.
+func (qc *queueChannel) collect(w *worker, kind string, layer int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error {
+	queue := w.d.queues[w.id]
+	key := pendKey(kind, layer)
+
+	type progress struct {
+		seen  map[int]bool
+		total int
+	}
+	remaining := make(map[int32]*progress, len(sources))
+	for _, s := range sources {
+		remaining[s] = &progress{seen: make(map[int]bool), total: -1}
+	}
+
+	// process handles one byte string, deduplicating redeliveries by
+	// chunk sequence number: standard queues deliver at least once, and a
+	// visibility timeout elapsing mid-processing must not double-count.
+	process := func(src int32, chunks, seq int, body []byte) error {
+		pr, ok := remaining[src]
+		if !ok || pr.seen[seq] {
+			return nil // completed source or duplicate chunk
+		}
+		pr.seen[seq] = true
+		pr.total = chunks
+		rs, err := w.decodePayload(body)
+		if err != nil {
+			return err
+		}
+		if deliver != nil && rs.Len() > 0 {
+			deliver(src, rs)
+		}
+		if len(pr.seen) >= pr.total {
+			delete(remaining, src)
+		}
+		return nil
+	}
+
+	// Drain anything buffered by earlier phases first.
+	for _, pm := range w.pending[key] {
+		if err := process(pm.src, pm.chunks, pm.seq, pm.body); err != nil {
+			return err
+		}
+	}
+	delete(w.pending, key)
+
+	for len(remaining) > 0 {
+		if w.ctx.Remaining() <= 0 {
+			return fmt.Errorf("core: worker %d out of runtime collecting %s/layer %d", w.id, kind, layer)
+		}
+		msgs := queue.Receive(w.ctx.P, 10, w.d.Cfg.PollWait)
+		w.metrics.Polls++
+		w.metrics.Fetches += int64(len(msgs))
+		handles := make([]string, 0, len(msgs))
+		for _, m := range msgs {
+			handles = append(handles, m.ReceiptHandle)
+			if m.Attributes["run"] != w.run.id {
+				continue // stale message from a previous request
+			}
+			mkind := m.Attributes["kind"]
+			mlayer, _ := strconv.Atoi(m.Attributes["layer"])
+			src64, _ := strconv.Atoi(m.Attributes["src"])
+			chunks, _ := strconv.Atoi(m.Attributes["chunks"])
+			seq, _ := strconv.Atoi(m.Attributes["seq"])
+			src := int32(src64)
+			if mkind == kind && mlayer == layer {
+				if err := process(src, chunks, seq, m.Body); err != nil {
+					return err
+				}
+				continue
+			}
+			// Buffer for the phase that expects it.
+			k := pendKey(mkind, mlayer)
+			w.pending[k] = append(w.pending[k], pendingMsg{src: src, chunks: chunks, seq: seq, body: m.Body})
+		}
+		if len(handles) > 0 {
+			if err := queue.DeleteBatch(w.ctx.P, handles); err != nil {
+				return err
+			}
+			w.metrics.Deletes++
+		}
+	}
+	return nil
+}
+
+func pendKey(kind string, layer int) string { return kind + ":" + strconv.Itoa(layer) }
+
+// barrier synchronises all workers: non-roots publish a "done" control
+// message routed to worker 0's queue; the root gathers P-1 of them and
+// broadcasts "go" messages back through the pub-sub fan-out.
+func (qc *queueChannel) barrier(w *worker) error {
+	p := w.d.Cfg.Workers()
+	if w.id != 0 {
+		msgs, err := qc.buildMessages(w, "done", 0, 0, wire.NewRowSet(w.run.batch))
+		if err != nil {
+			return err
+		}
+		if err := qc.publish(w, qc.packBatches(w, msgs)); err != nil {
+			return err
+		}
+		return qc.collect(w, "go", 0, []int32{0}, nil)
+	}
+	srcs := make([]int32, 0, p-1)
+	for m := 1; m < p; m++ {
+		srcs = append(srcs, int32(m))
+	}
+	if err := qc.collect(w, "done", 0, srcs, nil); err != nil {
+		return err
+	}
+	var msgs []sqs.Message
+	for m := 1; m < p; m++ {
+		ms, err := qc.buildMessages(w, "go", 0, int32(m), wire.NewRowSet(w.run.batch))
+		if err != nil {
+			return err
+		}
+		msgs = append(msgs, ms...)
+	}
+	return qc.publish(w, qc.packBatches(w, msgs))
+}
+
+func (qc *queueChannel) reduceSend(w *worker, rs *wire.RowSet) error {
+	msgs, err := qc.buildMessages(w, "result", 0, 0, rs)
+	if err != nil {
+		return err
+	}
+	return qc.publish(w, qc.packBatches(w, msgs))
+}
+
+func (qc *queueChannel) reduceGather(w *worker, expect int, deliver func(src int32, rs *wire.RowSet)) error {
+	srcs := make([]int32, 0, expect)
+	for m := 1; m <= expect; m++ {
+		srcs = append(srcs, int32(m))
+	}
+	return qc.collect(w, "result", 0, srcs, deliver)
+}
+
+// decodePayload decodes one received byte string, charging transfer-side
+// CPU (parse plus decompression).
+func (w *worker) decodePayload(body []byte) (*wire.RowSet, error) {
+	w.metrics.BytesRecv += int64(len(body))
+	w.ctx.Serialize(int64(len(body)))
+	if w.d.Cfg.Compress {
+		w.ctx.Decompress(int64(len(body)))
+	}
+	rs, err := wire.Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("core: worker %d decoding payload: %w", w.id, err)
+	}
+	return rs, nil
+}

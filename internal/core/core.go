@@ -1,0 +1,295 @@
+// Package core implements FSD-Inference (paper §III): fully serverless
+// distributed DNN inference over a tree of FaaS workers that exchange
+// intermediate activations through fully serverless channels.
+//
+// Three variants are provided, matching the paper:
+//
+//   - FSD-Inf-Serial: a single FaaS instance, no communication (§VI-A1),
+//   - FSD-Inf-Queue: pub-sub topics fanning out to per-worker queues with
+//     service-side filter policies (Algorithm 1),
+//   - FSD-Inf-Object: object-storage buckets with `.dat`/`.nul` objects and
+//     LIST-driven receive loops (Algorithm 2).
+//
+// Workers launch hierarchically (worker_invoke_children), derive their rank
+// from parent id, sibling number and branching factor, load their row-block
+// weights and send/receive maps from the model store, and run the FSI loop:
+// extract and compress outgoing rows, publish in parallel threads, overlap
+// the local multiply, then receive, accumulate, apply the activation, and
+// finally barrier and reduce the output to worker 0.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fsdinference/internal/cloud/usage"
+	"fsdinference/internal/model"
+	"fsdinference/internal/partition"
+	"fsdinference/internal/sparse"
+)
+
+// ChannelKind selects the communication channel variant.
+type ChannelKind int
+
+const (
+	// Serial runs a single worker with no communication (FSD-Inf-Serial).
+	Serial ChannelKind = iota
+	// Queue uses pub-sub + queues (FSD-Inf-Queue).
+	Queue
+	// Object uses object storage (FSD-Inf-Object).
+	Object
+)
+
+// String returns the paper's name for the variant.
+func (c ChannelKind) String() string {
+	switch c {
+	case Serial:
+		return "FSD-Inf-Serial"
+	case Queue:
+		return "FSD-Inf-Queue"
+	case Object:
+		return "FSD-Inf-Object"
+	default:
+		return fmt.Sprintf("ChannelKind(%d)", int(c))
+	}
+}
+
+// LaunchMode selects how the worker tree is populated (§III and the launch
+// ablation; the paper reports the hierarchical mechanism beats a
+// centralised single loop and Lambada's two-level loop).
+type LaunchMode int
+
+const (
+	// Hierarchical is the paper's worker_invoke_children tree launch.
+	Hierarchical LaunchMode = iota
+	// Centralized has the coordinator invoke every worker itself.
+	Centralized
+	// TwoLevel has the coordinator invoke group leaders, each of which
+	// invokes its group (the Lambada-style two-level loop).
+	TwoLevel
+)
+
+// String names the launch mode.
+func (l LaunchMode) String() string {
+	switch l {
+	case Hierarchical:
+		return "hierarchical"
+	case Centralized:
+		return "centralized"
+	case TwoLevel:
+		return "two-level"
+	default:
+		return fmt.Sprintf("LaunchMode(%d)", int(l))
+	}
+}
+
+// DefaultWorkerMemoryMB returns the paper's per-worker memory sizing for a
+// given neuron count (§VI-A1: 1000/1500/2000/4000 MB for N = 1024..65536),
+// chosen so partitioned weights fit with a small overhead.
+func DefaultWorkerMemoryMB(neurons int) int {
+	switch {
+	case neurons <= 1024:
+		return 1000
+	case neurons <= 4096:
+		return 1500
+	case neurons <= 16384:
+		return 2000
+	default:
+		return 4000
+	}
+}
+
+// Config describes one FSD-Inference deployment.
+type Config struct {
+	// Model is the sparse DNN to serve.
+	Model *model.Model
+	// Plan is the offline partitioning (required unless Channel ==
+	// Serial). Its worker count is the request parallelism P.
+	Plan *partition.Plan
+	// Channel selects the communication variant.
+	Channel ChannelKind
+
+	// Branching is the invocation-tree branching factor (default 3).
+	Branching int
+	// Launch selects the tree-launch mechanism (default Hierarchical).
+	Launch LaunchMode
+
+	// WorkerMemoryMB sizes worker functions (default: paper sizing for
+	// the model's neuron count).
+	WorkerMemoryMB int
+	// SerialMemoryMB sizes the serial function (default 10240, the
+	// platform maximum, as in §VI-A1).
+	SerialMemoryMB int
+	// CoordinatorMemoryMB sizes the lightweight coordinator (default
+	// 128).
+	CoordinatorMemoryMB int
+	// FunctionTimeout is the worker runtime limit (default: platform
+	// maximum, 15 minutes).
+	FunctionTimeout time.Duration
+
+	// Threads is the per-worker communication thread pool size
+	// (default 4), the ThreadPoolExecutor of §VI-A1.
+	Threads int
+	// Compress enables zlib payload compression (default true; the
+	// compression ablation switches it off).
+	Compress bool
+
+	// Topics is the number of parallel pub-sub topics (default 10,
+	// topic-{m%10} in Algorithm 1).
+	Topics int
+	// Buckets is the number of parallel object buckets (default 10,
+	// bucket-{n%10} in Algorithm 2).
+	Buckets int
+	// PollWait is the queue long-poll wait; 0 selects short polling
+	// (the polling ablation).
+	PollWait time.Duration
+
+	// StoreBandwidthScale multiplies the model store's transfer
+	// bandwidth (default 1). The scaled-experiment harness uses it to
+	// keep model-load time in proportion when projecting to paper scale.
+	StoreBandwidthScale float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Branching <= 0 {
+		c.Branching = 3
+	}
+	if c.WorkerMemoryMB <= 0 && c.Model != nil {
+		c.WorkerMemoryMB = DefaultWorkerMemoryMB(c.Model.Spec.Neurons)
+	}
+	if c.SerialMemoryMB <= 0 {
+		c.SerialMemoryMB = 10240
+	}
+	if c.CoordinatorMemoryMB <= 0 {
+		c.CoordinatorMemoryMB = 128
+	}
+	if c.FunctionTimeout <= 0 {
+		c.FunctionTimeout = 15 * time.Minute
+	}
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.Topics <= 0 {
+		c.Topics = 10
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	return c
+}
+
+// Workers returns the parallelism of the deployment (1 for serial).
+func (c Config) Workers() int {
+	if c.Channel == Serial || c.Plan == nil {
+		return 1
+	}
+	return c.Plan.Workers
+}
+
+// validate checks the configuration.
+func (c Config) validate() error {
+	if c.Model == nil {
+		return fmt.Errorf("core: config requires a model")
+	}
+	if c.Channel != Serial {
+		if c.Plan == nil {
+			return fmt.Errorf("core: %v requires a partition plan", c.Channel)
+		}
+		if c.Plan.Neurons != c.Model.Spec.Neurons || c.Plan.Layers != len(c.Model.Layers) {
+			return fmt.Errorf("core: plan (%d neurons, %d layers) does not match model (%d neurons, %d layers)",
+				c.Plan.Neurons, c.Plan.Layers, c.Model.Spec.Neurons, len(c.Model.Layers))
+		}
+	}
+	return nil
+}
+
+// WorkerMetrics reports one worker's activity during a run.
+type WorkerMetrics struct {
+	ID         int32
+	StartedAt  time.Duration // virtual time the handler began
+	FinishedAt time.Duration
+	Warm       bool
+	LoadTime   time.Duration // model/maps/input load from the store
+
+	MACs         float64
+	RowsSent     int64
+	RowsRecv     int64
+	BytesSent    int64 // encoded payload bytes shipped
+	BytesRecv    int64
+	MessagesSent int64 // queue: messages published; object: objects written
+	Publishes    int64 // queue: publish API calls; object: PUT calls
+	// BilledPublishes is the worker-side ledger of 64 KiB-increment
+	// billed publish requests (S), used to predict cost independently of
+	// the provider's meter (§VI-F validation).
+	BilledPublishes int64
+	Polls           int64 // queue: receive calls; object: LIST calls
+	Deletes         int64 // queue: delete-batch calls
+	Fetches         int64 // queue: messages received; object: GET calls
+	// AttrBytes is the worker-side ledger of message-attribute bytes,
+	// which count toward SNS->SQS transfer volume (Z).
+	AttrBytes int64
+	// StoreGets counts model-store reads (weights, maps, inputs).
+	StoreGets int64
+	// StorePuts counts model-store writes (the root's result object).
+	StorePuts    int64
+	PeakMemBytes int64
+}
+
+// Runtime returns the worker's billed runtime.
+func (w *WorkerMetrics) Runtime() time.Duration { return w.FinishedAt - w.StartedAt }
+
+// Result reports one inference request.
+type Result struct {
+	RunID  string
+	Output *sparse.Dense
+	// Latency is the end-to-end query latency: client invoke to result
+	// availability, in virtual time.
+	Latency time.Duration
+	// LaunchComplete is when the last worker instance began executing,
+	// relative to the client invoke (the launch-tree ablation metric).
+	LaunchComplete time.Duration
+	// CoordinatorRuntime is the coordinator function's billed runtime
+	// (zero for serial runs).
+	CoordinatorRuntime time.Duration
+	Batch              int
+	Workers            []*WorkerMetrics
+	// Usage is the resource consumption of this run only.
+	Usage usage.Meter
+	// Cost is Usage priced under the environment's catalogue.
+	Cost usage.Breakdown
+}
+
+// PerSample returns the per-sample latency (Table II / Fig. 6 metric).
+func (r *Result) PerSample() time.Duration {
+	if r.Batch == 0 {
+		return 0
+	}
+	return r.Latency / time.Duration(r.Batch)
+}
+
+// CostPerSample returns the per-sample dollar cost (Fig. 6 metric).
+func (r *Result) CostPerSample() float64 {
+	if r.Batch == 0 {
+		return 0
+	}
+	return r.Cost.Total() / float64(r.Batch)
+}
+
+// TotalBytesSent sums encoded payload bytes shipped between workers.
+func (r *Result) TotalBytesSent() int64 {
+	var n int64
+	for _, w := range r.Workers {
+		n += w.BytesSent
+	}
+	return n
+}
+
+// TotalRowsSent sums activation rows shipped between workers.
+func (r *Result) TotalRowsSent() int64 {
+	var n int64
+	for _, w := range r.Workers {
+		n += w.RowsSent
+	}
+	return n
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/model"
+	"fsdinference/internal/partition"
+	"fsdinference/internal/sparse"
+)
+
+// testSetup builds a small model, plan and deployment.
+func testSetup(t *testing.T, neurons, layers, workers int, kind ChannelKind, mutate func(*Config)) (*Deployment, *model.Model, *sparse.Dense) {
+	t.Helper()
+	m, err := model.Generate(model.GraphChallengeSpec(neurons, layers, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: m, Channel: kind, PollWait: 2 * time.Second}
+	if kind != Serial {
+		plan, err := partition.BuildPlan(m, workers, partition.HGPDNN, partition.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Plan = plan
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := Deploy(env.NewDefault(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := model.GenerateInputs(neurons, 8, 0.2, 2)
+	return d, m, input
+}
+
+func checkCorrect(t *testing.T, m *model.Model, input *sparse.Dense, res *Result) {
+	t.Helper()
+	want := model.Reference(m, input)
+	if !model.OutputsClose(res.Output, want, 1e-2) {
+		t.Fatal("distributed output diverges from reference inference")
+	}
+	if res.Output.NNZ() == 0 {
+		t.Fatal("degenerate all-zero output; test would not catch wiring bugs")
+	}
+}
+
+func TestSerialMatchesReference(t *testing.T) {
+	d, m, input := testSetup(t, 128, 6, 1, Serial, nil)
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCorrect(t, m, input, res)
+	if res.Latency <= 0 {
+		t.Fatalf("latency = %v", res.Latency)
+	}
+	if res.Cost.Lambda <= 0 {
+		t.Fatalf("no compute cost metered: %+v", res.Cost)
+	}
+	if res.Cost.Comms() != 0 {
+		// Serial still reads the store (S3 GETs) — comms here means S3.
+		// The paper's C_Serial = C_lambda covers the function only; store
+		// reads exist in all variants. Just assert no SNS/SQS traffic.
+		if res.Cost.SNS != 0 || res.Cost.SQS != 0 {
+			t.Fatalf("serial run used messaging: %+v", res.Cost)
+		}
+	}
+}
+
+func TestQueueChannelMatchesReference(t *testing.T) {
+	d, m, input := testSetup(t, 128, 6, 4, Queue, nil)
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCorrect(t, m, input, res)
+	if len(res.Workers) != 4 {
+		t.Fatalf("worker metrics = %d, want 4", len(res.Workers))
+	}
+	if res.Usage.SNSBilledPublishes == 0 || res.Usage.SQSReceiveCalls == 0 {
+		t.Fatalf("queue run metered no messaging: %+v", res.Usage)
+	}
+	if res.Usage.S3PutCalls != 1 {
+		t.Fatalf("queue run S3 puts = %d, want 1 (result only)", res.Usage.S3PutCalls)
+	}
+}
+
+func TestObjectChannelMatchesReference(t *testing.T) {
+	d, m, input := testSetup(t, 128, 6, 4, Object, nil)
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCorrect(t, m, input, res)
+	if res.Usage.S3PutCalls == 0 || res.Usage.S3ListCalls == 0 {
+		t.Fatalf("object run metered no storage traffic: %+v", res.Usage)
+	}
+	if res.Usage.SNSBilledPublishes != 0 {
+		t.Fatalf("object run used pub-sub: %+v", res.Usage)
+	}
+}
+
+func TestQueueAndObjectAgree(t *testing.T) {
+	dq, m, input := testSetup(t, 128, 4, 3, Queue, nil)
+	do, _, _ := testSetup(t, 128, 4, 3, Object, nil)
+	rq, err := dq.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := do.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.OutputsClose(rq.Output, ro.Output, 1e-3) {
+		t.Fatal("queue and object channels disagree")
+	}
+	_ = m
+}
+
+func TestSequentialRequestsOnOneDeployment(t *testing.T) {
+	d, m, _ := testSetup(t, 128, 4, 3, Queue, nil)
+	for i := 0; i < 3; i++ {
+		input := model.GenerateInputs(128, 4, 0.2, int64(10+i))
+		res, err := d.Infer(input)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		checkCorrect(t, m, input, res)
+	}
+}
+
+func TestWarmStartsOnSecondRequest(t *testing.T) {
+	d, _, input := testSetup(t, 128, 4, 3, Queue, nil)
+	if _, err := d.Infer(input); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := 0
+	for _, w := range res2.Workers {
+		if w.Warm {
+			warm++
+		}
+	}
+	if warm == 0 {
+		t.Fatal("second request used no warm instances")
+	}
+}
+
+func TestHierarchicalRanksFollowTree(t *testing.T) {
+	d, _, input := testSetup(t, 128, 6, 7, Queue, func(c *Config) { c.Branching = 2 })
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int32]bool)
+	for _, w := range res.Workers {
+		if w.ID < 0 || int(w.ID) >= 7 {
+			t.Fatalf("worker id %d out of range", w.ID)
+		}
+		if seen[w.ID] {
+			t.Fatalf("duplicate worker id %d", w.ID)
+		}
+		seen[w.ID] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("launched %d distinct workers, want 7", len(seen))
+	}
+}
+
+func TestLaunchModesAllCorrect(t *testing.T) {
+	for _, mode := range []LaunchMode{Hierarchical, Centralized, TwoLevel} {
+		d, m, input := testSetup(t, 128, 4, 5, Queue, func(c *Config) { c.Launch = mode })
+		res, err := d.Infer(input)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		checkCorrect(t, m, input, res)
+		if res.LaunchComplete <= 0 {
+			t.Fatalf("%v: launch-complete metric missing", mode)
+		}
+	}
+}
+
+func TestHierarchicalLaunchBeatsCentralized(t *testing.T) {
+	// The paper's launch mechanism populates the tree faster than a
+	// centralised single loop at its parallelism levels: the 128 MB
+	// coordinator pays heavy per-call CPU for each invoke, while the
+	// tree spreads calls across full-size workers.
+	times := map[LaunchMode]time.Duration{}
+	for _, mode := range []LaunchMode{Hierarchical, Centralized} {
+		d, _, input := testSetup(t, 512, 2, 42, Queue, func(c *Config) { c.Launch = mode })
+		res, err := d.Infer(input)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		times[mode] = res.LaunchComplete
+	}
+	if times[Hierarchical] >= times[Centralized] {
+		t.Fatalf("hierarchical launch %v not faster than centralized %v",
+			times[Hierarchical], times[Centralized])
+	}
+}
+
+func TestCompressionReducesBytes(t *testing.T) {
+	var bytes [2]int64
+	for i, compress := range []bool{true, false} {
+		d, _, input := testSetup(t, 128, 4, 4, Queue, func(c *Config) { c.Compress = compress })
+		res, err := d.Infer(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes[i] = res.TotalBytesSent()
+	}
+	if bytes[0] >= bytes[1] {
+		t.Fatalf("compressed bytes %d not below uncompressed %d", bytes[0], bytes[1])
+	}
+}
+
+func TestSerialOOMOnOversizedModel(t *testing.T) {
+	// A model whose weights exceed the serial instance's memory must fail
+	// with an out-of-memory invocation error (the paper's N=65536 case:
+	// 2048 neurons x 60 layers is ~31 MB raw, ~173 MB with the modelled
+	// Python/SciPy footprint — over a 128 MB instance).
+	d, _, input := testSetup(t, 2048, 60, 1, Serial, func(c *Config) { c.SerialMemoryMB = 128 })
+	_, err := d.Infer(input)
+	if err == nil || !strings.Contains(err.Error(), "out of memory") {
+		t.Fatalf("err = %v, want OOM", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := env.NewDefault()
+	if _, err := Deploy(e, Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	m, _ := model.Generate(model.GraphChallengeSpec(128, 2, 1))
+	if _, err := Deploy(e, Config{Model: m, Channel: Queue}); err == nil {
+		t.Error("missing plan accepted")
+	}
+	other, _ := model.Generate(model.GraphChallengeSpec(256, 2, 1))
+	plan, _ := partition.BuildPlan(other, 2, partition.Block, partition.Options{})
+	if _, err := Deploy(e, Config{Model: m, Channel: Queue, Plan: plan}); err == nil {
+		t.Error("mismatched plan accepted")
+	}
+}
+
+func TestInputShapeChecked(t *testing.T) {
+	d, _, _ := testSetup(t, 128, 2, 1, Serial, nil)
+	bad := sparse.NewDense(64, 4)
+	if _, err := d.Infer(bad); err == nil {
+		t.Error("wrong-shaped input accepted")
+	}
+}
+
+func TestLatencyAndCostAccounting(t *testing.T) {
+	d, _, input := testSetup(t, 128, 4, 4, Queue, nil)
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerSample() <= 0 {
+		t.Fatal("per-sample latency not positive")
+	}
+	if res.CostPerSample() <= 0 {
+		t.Fatal("per-sample cost not positive")
+	}
+	// Workers' runtimes must fit inside the request latency window.
+	for _, w := range res.Workers {
+		if w.Runtime() <= 0 {
+			t.Fatalf("worker %d runtime %v", w.ID, w.Runtime())
+		}
+		if w.Runtime() > res.Latency {
+			t.Fatalf("worker %d runtime %v exceeds request latency %v", w.ID, w.Runtime(), res.Latency)
+		}
+		if w.PeakMemBytes <= 0 {
+			t.Fatalf("worker %d has no memory accounting", w.ID)
+		}
+	}
+	// Lambda GB-seconds must roughly cover the workers' runtimes.
+	var wantGBs float64
+	for _, w := range res.Workers {
+		wantGBs += float64(d.Cfg.WorkerMemoryMB) / 1024 * w.Runtime().Seconds()
+	}
+	if res.Usage.LambdaGBSeconds < wantGBs*0.9 {
+		t.Fatalf("GB-s %.3f below workers' own runtime %.3f", res.Usage.LambdaGBSeconds, wantGBs)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (*Result, *sparse.Dense) {
+		d, _, input := testSetup(t, 128, 4, 4, Queue, nil)
+		res, err := d.Infer(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, res.Output
+	}
+	a, ao := run()
+	b, bo := run()
+	if a.Latency != b.Latency {
+		t.Fatalf("latencies differ: %v vs %v", a.Latency, b.Latency)
+	}
+	if a.Cost.Total() != b.Cost.Total() {
+		t.Fatalf("costs differ: %v vs %v", a.Cost.Total(), b.Cost.Total())
+	}
+	for i := range ao.Data {
+		if ao.Data[i] != bo.Data[i] {
+			t.Fatal("outputs differ between identical runs")
+		}
+	}
+}
+
+func TestShortPollingStillCorrectButChattier(t *testing.T) {
+	dLong, m, input := testSetup(t, 128, 4, 4, Queue, nil)
+	dShort, _, _ := testSetup(t, 128, 4, 4, Queue, func(c *Config) { c.PollWait = 0 })
+	rl, err := dLong.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := dShort.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCorrect(t, m, input, rs)
+	if rs.Usage.SQSReceiveCalls <= rl.Usage.SQSReceiveCalls {
+		t.Fatalf("short polling receives (%d) not above long polling (%d)",
+			rs.Usage.SQSReceiveCalls, rl.Usage.SQSReceiveCalls)
+	}
+}

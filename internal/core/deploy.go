@@ -1,0 +1,369 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/cloud/faas"
+	"fsdinference/internal/cloud/s3"
+	"fsdinference/internal/cloud/sns"
+	"fsdinference/internal/cloud/sqs"
+	"fsdinference/internal/model"
+	"fsdinference/internal/sim"
+	"fsdinference/internal/sparse"
+	"fsdinference/internal/wire"
+)
+
+// Deployment is a deployed FSD-Inference application: pre-created
+// communication resources (topics, queues, buckets — free to keep, as the
+// paper notes), a staged model store, and registered functions. A
+// deployment serves any number of sequential inference requests.
+type Deployment struct {
+	Env *env.Env
+	Cfg Config
+
+	topics  []*sns.Topic
+	queues  []*sqs.Queue
+	buckets []*s3.Bucket
+	store   *s3.Bucket
+
+	fnWorker      string
+	fnCoordinator string
+	fnSerial      string
+
+	runSeq int
+	run    *runState
+}
+
+// runState is the per-request bookkeeping shared (host-side) between the
+// client, coordinator and workers of one run.
+type runState struct {
+	id    string
+	batch int
+	input *sparse.Dense
+
+	rootFut      *faas.Future
+	metrics      []*WorkerMetrics
+	started      []time.Duration
+	lastStart    time.Duration
+	coordRuntime time.Duration
+	output       *sparse.Dense
+	workerErrs   []error
+}
+
+var deploySeq int
+
+// Deploy validates the configuration, stages the partitioned model into the
+// object store and creates all communication resources and functions.
+// Staging happens offline (host-side) and is not billed, matching the
+// paper's a-priori partitioning and resource pre-creation.
+func Deploy(e *env.Env, cfg Config) (*Deployment, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	deploySeq++
+	prefix := fmt.Sprintf("fsd%d", deploySeq)
+	d := &Deployment{
+		Env:           e,
+		Cfg:           cfg,
+		fnWorker:      prefix + "-worker",
+		fnCoordinator: prefix + "-coordinator",
+		fnSerial:      prefix + "-serial",
+	}
+	d.store = e.S3.CreateBucket(prefix + "-store")
+	if cfg.StoreBandwidthScale > 0 && cfg.StoreBandwidthScale != 1 {
+		d.store.GetBandwidth = e.S3.Config().GetBytesPerSec * cfg.StoreBandwidthScale
+		d.store.PutBandwidth = e.S3.Config().PutBytesPerSec * cfg.StoreBandwidthScale
+	}
+	d.stageModel()
+
+	if cfg.Channel == Queue {
+		p := cfg.Workers()
+		d.queues = make([]*sqs.Queue, p)
+		for m := 0; m < p; m++ {
+			d.queues[m] = e.SQS.CreateQueue(fmt.Sprintf("%s-q-%d", prefix, m))
+		}
+		d.topics = make([]*sns.Topic, cfg.Topics)
+		for t := 0; t < cfg.Topics; t++ {
+			d.topics[t] = e.SNS.CreateTopic(fmt.Sprintf("%s-topic-%d", prefix, t))
+			// Every worker's queue subscribes to every topic with a
+			// service-side filter on its own id, so distribution is
+			// offloaded to the pub-sub service (§III-A).
+			for m := 0; m < p; m++ {
+				d.topics[t].Subscribe(d.queues[m], sns.FilterPolicy{
+					"target": {strconv.Itoa(m)},
+				})
+			}
+		}
+	}
+	if cfg.Channel == Object {
+		d.buckets = make([]*s3.Bucket, cfg.Buckets)
+		for b := 0; b < cfg.Buckets; b++ {
+			d.buckets[b] = e.S3.CreateBucket(fmt.Sprintf("%s-bucket-%d", prefix, b))
+		}
+	}
+
+	if err := d.registerFunctions(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// stageModel writes per-worker weight row blocks (or the whole model for
+// serial) into the model store.
+func (d *Deployment) stageModel() {
+	m := d.Cfg.Model
+	if d.Cfg.Channel == Serial {
+		for k, w := range m.Layers {
+			d.putStore(fmt.Sprintf("model/full/layer-%d.w", k), model.EncodeCSR(w))
+		}
+		return
+	}
+	plan := d.Cfg.Plan
+	for worker := 0; worker < plan.Workers; worker++ {
+		for k, w := range m.Layers {
+			blk := w.SelectRows(plan.Rows[worker])
+			d.putStore(fmt.Sprintf("model/w%d/layer-%d.w", worker, k), model.EncodeCSR(blk))
+		}
+	}
+}
+
+// putStore writes a staging object host-side (offline, unbilled).
+func (d *Deployment) putStore(key string, data []byte) {
+	// Use a throwaway proc so staging costs neither time nor requests.
+	snap := d.Env.Meter.Snapshot()
+	d.Env.K.Go("stage", func(p *sim.Proc) {
+		if err := d.store.Put(p, key, data); err != nil {
+			panic(fmt.Sprintf("core: staging %s: %v", key, err))
+		}
+	})
+	if err := d.Env.K.Run(); err != nil {
+		panic(fmt.Sprintf("core: staging %s: %v", key, err))
+	}
+	*d.Env.Meter = snap // roll back billing and counters
+}
+
+func (d *Deployment) registerFunctions() error {
+	cfg := d.Cfg
+	if cfg.Channel == Serial {
+		return d.Env.FaaS.Register(faas.FunctionConfig{
+			Name:     d.fnSerial,
+			MemoryMB: cfg.SerialMemoryMB,
+			Timeout:  cfg.FunctionTimeout,
+			Handler:  d.serialHandler,
+		})
+	}
+	if err := d.Env.FaaS.Register(faas.FunctionConfig{
+		Name:     d.fnCoordinator,
+		MemoryMB: cfg.CoordinatorMemoryMB,
+		Timeout:  cfg.FunctionTimeout,
+		Handler:  d.coordinatorHandler,
+	}); err != nil {
+		return err
+	}
+	return d.Env.FaaS.Register(faas.FunctionConfig{
+		Name:     d.fnWorker,
+		MemoryMB: cfg.WorkerMemoryMB,
+		Timeout:  cfg.FunctionTimeout,
+		Handler:  d.workerHandler,
+	})
+}
+
+// workerPayload is the (JSON) invocation payload of worker functions. A
+// worker derives its rank from parent id, sibling number and the branching
+// factor (§III), except in the launch ablation modes which pass ids
+// explicitly.
+type workerPayload struct {
+	Run     string `json:"run"`
+	Parent  int32  `json:"parent"`  // -1 for the root
+	Sibling int32  `json:"sibling"` // index among the parent's children
+	// Explicit is the worker id for Centralized/TwoLevel launches
+	// (-1 under Hierarchical, where the id is derived).
+	Explicit int32 `json:"explicit"`
+	// Leader marks a TwoLevel group leader that must invoke its group.
+	Leader bool `json:"leader"`
+}
+
+// Infer runs one inference request over the deployment and returns its
+// result. The input is an N x batch activation matrix. Requests run
+// sequentially on the deployment's environment; latencies and costs are
+// reported in virtual time and metered dollars.
+func (d *Deployment) Infer(input *sparse.Dense) (*Result, error) {
+	if input.Rows != d.Cfg.Model.Spec.Neurons {
+		return nil, fmt.Errorf("core: input has %d rows, model expects %d", input.Rows, d.Cfg.Model.Spec.Neurons)
+	}
+	d.runSeq++
+	run := &runState{
+		id:    fmt.Sprintf("r%d", d.runSeq),
+		batch: input.Cols,
+		input: input,
+	}
+	d.run = run
+	d.stageInput(run)
+
+	snap := d.Env.Meter.Snapshot()
+	var start, end time.Duration
+	var invokeErr error
+
+	d.Env.K.Go("client-"+run.id, func(p *sim.Proc) {
+		start = p.Now()
+		if d.Cfg.Channel == Serial {
+			fut, err := d.Env.FaaS.Invoke(p, d.fnSerial, mustJSON(workerPayload{Run: run.id}))
+			if err != nil {
+				invokeErr = err
+				return
+			}
+			if _, err := fut.Wait(p); err != nil {
+				invokeErr = err
+				return
+			}
+			end = p.Now()
+			return
+		}
+		fut, err := d.Env.FaaS.Invoke(p, d.fnCoordinator, mustJSON(workerPayload{Run: run.id}))
+		if err != nil {
+			invokeErr = err
+			return
+		}
+		if _, err := fut.Wait(p); err != nil {
+			invokeErr = err
+			return
+		}
+		// The coordinator returns once the tree is seeded; the result
+		// is ready when the root worker finishes.
+		if run.rootFut == nil {
+			invokeErr = fmt.Errorf("core: coordinator did not seed the worker tree")
+			return
+		}
+		if _, err := run.rootFut.Wait(p); err != nil {
+			invokeErr = err
+			return
+		}
+		end = p.Now()
+	})
+	if err := d.Env.K.Run(); err != nil {
+		return nil, fmt.Errorf("core: run %s: %w", run.id, err)
+	}
+	if invokeErr != nil {
+		return nil, fmt.Errorf("core: run %s: %w", run.id, invokeErr)
+	}
+	if len(run.workerErrs) > 0 {
+		return nil, fmt.Errorf("core: run %s: worker error: %w", run.id, run.workerErrs[0])
+	}
+	if run.output == nil {
+		return nil, fmt.Errorf("core: run %s produced no output", run.id)
+	}
+
+	used := d.Env.Meter.Sub(snap)
+	res := &Result{
+		RunID:              run.id,
+		Output:             run.output,
+		Latency:            end - start,
+		CoordinatorRuntime: run.coordRuntime,
+		Batch:              run.batch,
+		Workers:            run.metrics,
+		Usage:              used,
+		Cost:               used.Cost(d.Env.Pricing),
+	}
+	if run.lastStart > 0 {
+		res.LaunchComplete = run.lastStart - start
+	}
+	return res, nil
+}
+
+// stageInput writes the request's input rows into the model store: the full
+// matrix for serial, per-worker row blocks otherwise. Requests are assumed
+// buffered and batched upstream (paper §V-B2), so staging is unbilled.
+func (d *Deployment) stageInput(run *runState) {
+	if d.Cfg.Channel == Serial {
+		rs := wire.NewRowSet(run.batch)
+		for r := 0; r < run.input.Rows; r++ {
+			rs.Add(int32(r), run.input.Row(r))
+		}
+		p, err := wire.Encode(rs, true)
+		if err != nil {
+			panic(fmt.Sprintf("core: encoding input: %v", err))
+		}
+		d.putStore(fmt.Sprintf("input/%s/full.x", run.id), p)
+		return
+	}
+	plan := d.Cfg.Plan
+	for worker := 0; worker < plan.Workers; worker++ {
+		rs := wire.NewRowSet(run.batch)
+		for _, r := range plan.Rows[worker] {
+			rs.Add(r, run.input.Row(int(r)))
+		}
+		p, err := wire.Encode(rs, true)
+		if err != nil {
+			panic(fmt.Sprintf("core: encoding input: %v", err))
+		}
+		d.putStore(fmt.Sprintf("input/%s/w%d.x", run.id, worker), p)
+	}
+}
+
+// coordinatorHandler parses the request and seeds the worker tree
+// (lightweight, 128 MB, §VI-A1).
+func (d *Deployment) coordinatorHandler(ctx *faas.Ctx, payload []byte) ([]byte, error) {
+	var req workerPayload
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("core: coordinator payload: %w", err)
+	}
+	switch d.Cfg.Launch {
+	case Hierarchical:
+		fut, err := ctx.InvokeAsync(d.fnWorker, mustJSON(workerPayload{
+			Run: req.Run, Parent: -1, Sibling: 0, Explicit: -1,
+		}))
+		if err != nil {
+			return nil, err
+		}
+		d.run.rootFut = fut
+	case Centralized:
+		for m := 0; m < d.Cfg.Workers(); m++ {
+			fut, err := ctx.InvokeAsync(d.fnWorker, mustJSON(workerPayload{
+				Run: req.Run, Parent: -1, Explicit: int32(m),
+			}))
+			if err != nil {
+				return nil, err
+			}
+			if m == 0 {
+				d.run.rootFut = fut
+			}
+		}
+	case TwoLevel:
+		g := groupSize(d.Cfg.Workers())
+		for lead := 0; lead < d.Cfg.Workers(); lead += g {
+			fut, err := ctx.InvokeAsync(d.fnWorker, mustJSON(workerPayload{
+				Run: req.Run, Parent: -1, Explicit: int32(lead), Leader: true,
+			}))
+			if err != nil {
+				return nil, err
+			}
+			if lead == 0 {
+				d.run.rootFut = fut
+			}
+		}
+	}
+	d.run.coordRuntime = ctx.Elapsed()
+	return []byte(`{"ok":true}`), nil
+}
+
+// groupSize returns the TwoLevel group size (~sqrt of the worker count).
+func groupSize(p int) int {
+	g := 1
+	for g*g < p {
+		g++
+	}
+	return g
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

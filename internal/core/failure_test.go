@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/model"
+	"fsdinference/internal/partition"
+)
+
+// Failure-injection tests: the engine must fail loudly and cleanly when
+// platform limits bite mid-run, rather than hanging or returning wrong
+// results.
+
+func TestWorkerOOMFailsRunWithRealError(t *testing.T) {
+	// Workers sized far below the partition's needs die with OOM; the
+	// run must surface that error (not a bare timeout, not a hang).
+	m, err := model.Generate(model.GraphChallengeSpec(2048, 100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.BuildPlan(m, 2, partition.Block, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Deploy(env.NewDefault(), Config{
+		Model: m, Plan: plan, Channel: Queue,
+		// Each worker's row block is ~26 MB raw, ~144 MB at the modelled
+		// runtime footprint: over the 128 MB instance.
+		WorkerMemoryMB: 128,
+		PollWait:       2 * time.Second,
+		// Keep the run short: surviving workers stop at this timeout.
+		FunctionTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Infer(model.GenerateInputs(2048, 4, 0.2, 2))
+	if err == nil {
+		t.Fatal("run with OOM-sized workers succeeded")
+	}
+	if !strings.Contains(err.Error(), "out of memory") {
+		t.Fatalf("err = %v, want the OOM cause surfaced", err)
+	}
+}
+
+func TestRuntimeLimitSurfacesAsTimeout(t *testing.T) {
+	// A function timeout far below the workload's needs kills workers
+	// mid-run; the request must fail rather than hang the simulation.
+	m, err := model.Generate(model.GraphChallengeSpec(256, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.BuildPlan(m, 3, partition.Block, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Deploy(env.NewDefault(), Config{
+		Model: m, Plan: plan, Channel: Queue,
+		FunctionTimeout: 1 * time.Second, // below launch + load + FSI
+		PollWait:        2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Infer(model.GenerateInputs(256, 8, 0.2, 2))
+	if err == nil {
+		t.Fatal("run with impossible timeout succeeded")
+	}
+	if !strings.Contains(err.Error(), "timed out") && !strings.Contains(err.Error(), "out of runtime") {
+		t.Fatalf("err = %v, want timeout cause", err)
+	}
+}
+
+func TestDeploymentRecoversAfterFailedRun(t *testing.T) {
+	// After a failed request, the same deployment must serve the next
+	// request correctly (queues may hold stale messages from the dead
+	// run; the run-id attribute filters them).
+	m, err := model.Generate(model.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.BuildPlan(m, 3, partition.Block, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := env.NewDefault()
+	d, err := Deploy(e, Config{
+		Model: m, Plan: plan, Channel: Queue,
+		FunctionTimeout: 400 * time.Millisecond, // enough to launch, not to finish FSI
+		PollWait:        time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := model.GenerateInputs(256, 8, 0.2, 2)
+	if _, err := d.Infer(input); err == nil {
+		t.Fatal("expected the strangled run to fail")
+	}
+
+	// Relax the timeout and run again on the same deployment.
+	d.Cfg.FunctionTimeout = 15 * time.Minute
+	if err := redeployFunctions(d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	want := model.Reference(m, input)
+	if !model.OutputsClose(res.Output, want, 1e-2) {
+		t.Fatal("recovery run produced wrong output")
+	}
+}
+
+// redeployFunctions re-registers the deployment's functions with fresh
+// settings under new names (FaaS registrations are immutable).
+func redeployFunctions(d *Deployment) error {
+	d.fnWorker += "-v2"
+	d.fnCoordinator += "-v2"
+	d.fnSerial += "-v2"
+	return d.registerFunctions()
+}

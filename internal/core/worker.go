@@ -1,0 +1,445 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fsdinference/internal/cloud/faas"
+	"fsdinference/internal/model"
+	"fsdinference/internal/sim"
+	"fsdinference/internal/sparse"
+	"fsdinference/internal/wire"
+)
+
+// worker is the per-instance state of one FSI worker during a run.
+type worker struct {
+	d   *Deployment
+	run *runState
+	ctx *faas.Ctx
+	id  int32
+
+	localRows []int32
+	weights   []*sparse.CSR // local row blocks, global column ids
+
+	// x holds this layer's input activation rows by global id: the
+	// worker's own rows plus rows received from other workers.
+	x        [][]float32
+	xTouched []int32
+	// xr holds rows received during the current layer (accumulated after
+	// the local multiply, Algorithm 1 lines 16-17).
+	xr        [][]float32
+	xrTouched []int32
+
+	ch      channel
+	metrics *WorkerMetrics
+
+	// pending buffers queue messages that arrive for phases this worker
+	// has not reached yet (a fast upstream worker may already be
+	// publishing layer k+1 while this worker still collects layer k),
+	// keyed by "kind:layer".
+	pending map[string][]pendingMsg
+}
+
+type pendingMsg struct {
+	src    int32
+	chunks int
+	seq    int
+	body   []byte
+}
+
+// targetRows is one (target, rows) send-map entry materialised with data.
+type targetRows struct {
+	target int32
+	rs     *wire.RowSet
+}
+
+// channel is the communication variant used by the FSI loop. Every method
+// runs in worker Proc context.
+type channel interface {
+	// send ships the prepared per-target row sets for one layer; it may
+	// use the worker's thread pool and must return once all sends are
+	// issued and acknowledged.
+	send(w *worker, layer int, outs []targetRows) error
+	// receive collects layer data until every source in sources has
+	// delivered completely, invoking deliver per arriving row set.
+	receive(w *worker, layer int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error
+	// barrier synchronises all workers (root coordinates, §III-C3).
+	barrier(w *worker) error
+	// reduce gathers final activations at worker 0: non-roots send
+	// their rows; the root receives expect row sets via deliver.
+	reduceSend(w *worker, rs *wire.RowSet) error
+	reduceGather(w *worker, expect int, deliver func(src int32, rs *wire.RowSet)) error
+}
+
+// workerHandler is the FaaS body of a distributed FSI worker
+// (Algorithms 1 and 2).
+func (d *Deployment) workerHandler(ctx *faas.Ctx, payload []byte) ([]byte, error) {
+	var req workerPayload
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("core: worker payload: %w", err)
+	}
+	run := d.run
+	if run == nil || run.id != req.Run {
+		return nil, fmt.Errorf("core: worker invoked for unknown run %q", req.Run)
+	}
+
+	w := &worker{
+		d:       d,
+		run:     run,
+		ctx:     ctx,
+		pending: make(map[string][]pendingMsg),
+	}
+	// Determine rank: derived from parent id, sibling number and the
+	// branching factor under the hierarchical launch (§III).
+	if req.Explicit >= 0 {
+		w.id = req.Explicit
+	} else if req.Parent < 0 {
+		w.id = 0
+	} else {
+		w.id = req.Parent*int32(d.Cfg.Branching) + req.Sibling + 1
+	}
+	w.metrics = &WorkerMetrics{ID: w.id, StartedAt: ctx.P.Now(), Warm: ctx.Warm}
+	run.metrics = append(run.metrics, w.metrics)
+	run.started = append(run.started, ctx.P.Now())
+	if ctx.P.Now() > run.lastStart {
+		run.lastStart = ctx.P.Now()
+	}
+
+	switch d.Cfg.Channel {
+	case Queue:
+		w.ch = &queueChannel{}
+	case Object:
+		w.ch = &objectChannel{}
+	default:
+		return nil, fmt.Errorf("core: worker launched with %v channel", d.Cfg.Channel)
+	}
+
+	if err := w.invokeChildren(req); err != nil {
+		run.workerErrs = append(run.workerErrs, err)
+		return nil, err
+	}
+	if err := w.load(); err != nil {
+		run.workerErrs = append(run.workerErrs, err)
+		return nil, err
+	}
+	if err := w.runFSI(); err != nil {
+		run.workerErrs = append(run.workerErrs, err)
+		return nil, err
+	}
+	w.metrics.FinishedAt = ctx.P.Now()
+	w.metrics.PeakMemBytes = ctx.PeakMem()
+	return []byte(`{"ok":true}`), nil
+}
+
+// invokeChildren populates this worker's subtree (worker_invoke_children):
+// under the hierarchical launch each internal node starts its children
+// before doing any other work, spreading launch responsibility across the
+// tree (§II-B objective 2).
+func (w *worker) invokeChildren(req workerPayload) error {
+	d := w.d
+	switch d.Cfg.Launch {
+	case Hierarchical:
+		b := int32(d.Cfg.Branching)
+		for s := int32(0); s < b; s++ {
+			child := w.id*b + s + 1
+			if int(child) >= d.Cfg.Workers() {
+				break
+			}
+			if _, err := w.ctx.InvokeAsync(d.fnWorker, mustJSON(workerPayload{
+				Run: req.Run, Parent: w.id, Sibling: s, Explicit: -1,
+			})); err != nil {
+				return fmt.Errorf("core: worker %d invoking child %d: %w", w.id, child, err)
+			}
+		}
+	case TwoLevel:
+		if req.Leader {
+			g := groupSize(d.Cfg.Workers())
+			for m := int(w.id) + 1; m < int(w.id)+g && m < d.Cfg.Workers(); m++ {
+				if _, err := w.ctx.InvokeAsync(d.fnWorker, mustJSON(workerPayload{
+					Run: req.Run, Parent: w.id, Explicit: int32(m),
+				})); err != nil {
+					return fmt.Errorf("core: leader %d invoking member %d: %w", w.id, m, err)
+				}
+			}
+		}
+	case Centralized:
+		// The coordinator invoked everyone.
+	}
+	return nil
+}
+
+// load reads this worker's weight row blocks, its input activation rows and
+// accounts the send/receive maps, charging store reads and instance memory
+// (§III: each worker reads its share of weights, inference data and
+// per-layer send/recv maps upon launch).
+func (w *worker) load() error {
+	p := w.ctx.P
+	d := w.d
+	t0 := p.Now()
+	n := d.Cfg.Model.Spec.Neurons
+	w.localRows = d.Cfg.Plan.Rows[w.id]
+	w.weights = make([]*sparse.CSR, len(d.Cfg.Model.Layers))
+	perf := w.ctx.Perf()
+	for k := range d.Cfg.Model.Layers {
+		blob, err := d.store.Get(p, fmt.Sprintf("model/w%d/layer-%d.w", w.id, k))
+		if err != nil {
+			return fmt.Errorf("core: worker %d loading layer %d: %w", w.id, k, err)
+		}
+		w.metrics.StoreGets++
+		w.ctx.Serialize(int64(len(blob)))
+		blk, err := model.DecodeCSR(blob)
+		if err != nil {
+			return fmt.Errorf("core: worker %d decoding layer %d: %w", w.id, k, err)
+		}
+		w.ctx.Alloc(int64(float64(blk.Bytes()) * perf.MemOverheadWeights))
+		w.weights[k] = blk
+	}
+	// Send/receive maps.
+	w.ctx.Alloc(d.Cfg.Plan.MapBytes(int(w.id)) * 2)
+
+	// Input rows.
+	blob, err := d.store.Get(p, fmt.Sprintf("input/%s/w%d.x", w.run.id, w.id))
+	if err != nil {
+		return fmt.Errorf("core: worker %d loading input: %w", w.id, err)
+	}
+	w.metrics.StoreGets++
+	w.ctx.Serialize(int64(len(blob)))
+	w.ctx.Decompress(int64(len(blob)))
+	rs, err := wire.Decode(blob)
+	if err != nil {
+		return fmt.Errorf("core: worker %d decoding input: %w", w.id, err)
+	}
+	w.x = make([][]float32, n)
+	w.xr = make([][]float32, n)
+	for i := 0; i < rs.Len(); i++ {
+		w.setX(rs.IDs[i], rs.Row(i))
+	}
+	w.ctx.Alloc(int64(float64(rs.RawBytes()) * perf.MemOverheadData))
+	w.metrics.LoadTime = p.Now() - t0
+	return nil
+}
+
+func (w *worker) setX(id int32, vals []float32) {
+	w.x[id] = vals
+	w.xTouched = append(w.xTouched, id)
+}
+
+func (w *worker) setXR(id int32, vals []float32) {
+	w.xr[id] = vals
+	w.xrTouched = append(w.xrTouched, id)
+}
+
+func (w *worker) clearLayerState() {
+	for _, id := range w.xTouched {
+		w.x[id] = nil
+	}
+	w.xTouched = w.xTouched[:0]
+	for _, id := range w.xrTouched {
+		w.xr[id] = nil
+	}
+	w.xrTouched = w.xrTouched[:0]
+}
+
+// runFSI executes the FSI loop (Algorithm 1 for the queue channel,
+// Algorithm 2 for the object channel; the structure is shared and the
+// channel-specific send/receive mechanics differ).
+func (w *worker) runFSI() error {
+	d := w.d
+	spec := d.Cfg.Model.Spec
+	batch := w.run.batch
+	perf := w.ctx.Perf()
+
+	// prevBytes tracks the accounted size of the activation state carried
+	// between layers; recvBytes tracks this layer's received-row buffers.
+	var prevBytes, recvBytes int64
+	for k := range w.weights {
+		// Extract and ship outgoing rows for this layer
+		// (Algorithm 1 lines 3-7 / Algorithm 2 lines 3-8).
+		outs := w.extractSendRows(k)
+		if err := w.ch.send(w, k, outs); err != nil {
+			return fmt.Errorf("core: worker %d layer %d send: %w", w.id, k, err)
+		}
+
+		// Local multiply, overlapping communication with computation
+		// (line 8/9): z = W_m · x_m using only locally held rows.
+		z := sparse.NewDense(len(w.localRows), batch)
+		zBytes := int64(float64(z.Bytes()) * perf.MemOverheadData)
+		w.ctx.Alloc(zBytes)
+		macs := sparse.MulGatherInto(w.weights[k], func(c int32) []float32 {
+			return w.x[c]
+		}, z)
+		w.ctx.Compute(float64(macs))
+
+		// Receive inbound rows until all sources for this layer have
+		// delivered (lines 9-15 / 10-21).
+		sources := d.Cfg.Plan.Recvs[k][w.id]
+		recvBytes = 0
+		if len(sources) > 0 {
+			err := w.ch.receive(w, k, sources, func(src int32, rs *wire.RowSet) {
+				for i := 0; i < rs.Len(); i++ {
+					w.setXR(rs.IDs[i], rs.Row(i))
+				}
+				w.metrics.RowsRecv += int64(rs.Len())
+				b := int64(float64(rs.RawBytes()) * perf.MemOverheadData)
+				recvBytes += b
+				w.ctx.Alloc(b)
+			})
+			if err != nil {
+				return fmt.Errorf("core: worker %d layer %d receive: %w", w.id, k, err)
+			}
+		}
+
+		// Accumulate received contributions (lines 16-17 / 22-23).
+		rmacs := sparse.MulGatherInto(w.weights[k], func(c int32) []float32 {
+			return w.xr[c]
+		}, z)
+		w.ctx.Compute(float64(rmacs))
+
+		// Activation (line 18 / 24).
+		ops := sparse.ReLUBiasClamp(z, spec.Bias, spec.Clamp)
+		w.ctx.ComputeElem(float64(ops))
+
+		// The layer output becomes next layer's local input rows;
+		// the previous layer's activations and this layer's receive
+		// buffers are released.
+		w.clearLayerState()
+		for i, r := range w.localRows {
+			w.setX(r, z.Row(i))
+		}
+		w.ctx.Free(prevBytes + recvBytes)
+		prevBytes = zBytes
+	}
+
+	// Barrier, then reduce the distributed output at worker 0
+	// (lines 19-22 / 25-28).
+	if err := w.ch.barrier(w); err != nil {
+		return fmt.Errorf("core: worker %d barrier: %w", w.id, err)
+	}
+	return w.reduce()
+}
+
+// extractSendRows materialises the layer's send map entries with data,
+// skipping rows that are entirely zero (the sparsity optimisation; the
+// channel still tells the target the transfer is complete). Serialization
+// work is charged here; the channel charges transport.
+func (w *worker) extractSendRows(k int) []targetRows {
+	entries := w.d.Cfg.Plan.Sends[k][w.id]
+	outs := make([]targetRows, 0, len(entries))
+	batch := w.run.batch
+	for _, e := range entries {
+		rs := wire.NewRowSet(batch)
+		for _, r := range e.Rows {
+			row := w.x[r]
+			if row == nil || allZero(row) {
+				continue
+			}
+			rs.Add(r, row)
+		}
+		w.ctx.Serialize(rs.RawBytes())
+		w.metrics.RowsSent += int64(rs.Len())
+		outs = append(outs, targetRows{target: e.Target, rs: rs})
+	}
+	return outs
+}
+
+func allZero(row []float32) bool {
+	for _, v := range row {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// reduce gathers every worker's final activation rows at worker 0, which
+// assembles and stores the overall inference result x^L (§III-C3).
+func (w *worker) reduce() error {
+	batch := w.run.batch
+	if w.id != 0 {
+		rs := wire.NewRowSet(batch)
+		for _, r := range w.localRows {
+			if row := w.x[r]; row != nil {
+				rs.Add(r, row)
+			}
+		}
+		w.ctx.Serialize(rs.RawBytes())
+		return w.ch.reduceSend(w, rs)
+	}
+
+	n := w.d.Cfg.Model.Spec.Neurons
+	out := sparse.NewDense(n, batch)
+	for _, r := range w.localRows {
+		if row := w.x[r]; row != nil {
+			copy(out.Row(int(r)), row)
+		}
+	}
+	expect := w.d.Cfg.Workers() - 1
+	if expect > 0 {
+		err := w.ch.reduceGather(w, expect, func(src int32, rs *wire.RowSet) {
+			for i := 0; i < rs.Len(); i++ {
+				copy(out.Row(int(rs.IDs[i])), rs.Row(i))
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Store the result object (billed) and report it to the client.
+	enc, err := wire.Encode(denseToRowSet(out), w.d.Cfg.Compress)
+	if err != nil {
+		return fmt.Errorf("core: encoding result: %w", err)
+	}
+	w.ctx.Serialize(int64(len(enc)))
+	if err := w.d.store.Put(w.ctx.P, fmt.Sprintf("result/%s.out", w.run.id), enc); err != nil {
+		return fmt.Errorf("core: storing result: %w", err)
+	}
+	w.metrics.StorePuts++
+	w.run.output = out
+	return nil
+}
+
+func denseToRowSet(d *sparse.Dense) *wire.RowSet {
+	rs := wire.NewRowSet(d.Cols)
+	for r := 0; r < d.Rows; r++ {
+		if !d.RowIsZero(r) {
+			rs.Add(int32(r), d.Row(r))
+		}
+	}
+	return rs
+}
+
+// threads runs tasks on the worker's communication thread pool
+// (ThreadPoolExecutor of §VI-A1): up to Threads simulated threads issue
+// service calls concurrently; the call returns when all tasks finish.
+// Returns the first task error, if any.
+func (w *worker) threads(name string, tasks []func(p *sim.Proc) error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	nt := w.d.Cfg.Threads
+	if nt > len(tasks) {
+		nt = len(tasks)
+	}
+	k := w.ctx.P.Kernel()
+	wg := sim.NewWaitGroup(k)
+	wg.Add(nt)
+	next := 0
+	var firstErr error
+	for t := 0; t < nt; t++ {
+		k.Go(fmt.Sprintf("w%d-%s-t%d", w.id, name, t), func(tp *sim.Proc) {
+			defer wg.Done()
+			for {
+				if next >= len(tasks) {
+					return
+				}
+				task := tasks[next]
+				next++
+				if err := task(tp); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		})
+	}
+	wg.Wait(w.ctx.P)
+	return firstErr
+}

@@ -1,0 +1,121 @@
+// Package cost implements the FSD-Inference cost model (paper §IV):
+// Equations (1)-(7) for the Serial, Queue and Object variants, prediction
+// of end-to-end run cost from worker-side fine-grained metrics (the §VI-F
+// validation predicts from captured metrics and compares against billed
+// actuals), a-priori workload estimation, and the §IV-C design
+// recommendations.
+package cost
+
+import (
+	"time"
+
+	"fsdinference/internal/cloud/pricing"
+	"fsdinference/internal/cloud/usage"
+)
+
+// LambdaUsage captures the compute-side inputs of Equation (4):
+// C_lambda = P·C_inv + P·T̄·M·C_run. TotalRuntime is Σ T_i = P·T̄.
+type LambdaUsage struct {
+	Invocations  int64
+	MemoryMB     int
+	TotalRuntime time.Duration
+}
+
+// Lambda evaluates Equation (4).
+func Lambda(cat pricing.Catalog, u LambdaUsage) float64 {
+	return float64(u.Invocations)*cat.LambdaInvoke +
+		float64(u.MemoryMB)/1024*u.TotalRuntime.Seconds()*cat.LambdaGBSecond
+}
+
+// QueueUsage captures the communication-side inputs of Equations (5)-(6):
+// S billed publish requests, Z bytes transferred SNS→SQS, and Q queueing
+// API requests.
+type QueueUsage struct {
+	BilledPublishes int64 // S
+	DeliveredBytes  int64 // Z
+	SQSRequests     int64 // Q
+}
+
+// SNS evaluates Equation (5): S·C_pub + Z·C_byte.
+func SNS(cat pricing.Catalog, u QueueUsage) float64 {
+	return float64(u.BilledPublishes)*cat.SNSPublish + float64(u.DeliveredBytes)*cat.SNSByte
+}
+
+// SQS evaluates Equation (6): Q·C_api.
+func SQS(cat pricing.Catalog, u QueueUsage) float64 {
+	return float64(u.SQSRequests) * cat.SQSRequest
+}
+
+// ObjectUsage captures the inputs of Equation (7): V PUTs, R GETs, L LISTs.
+type ObjectUsage struct {
+	Puts  int64 // V
+	Gets  int64 // R
+	Lists int64 // L
+}
+
+// S3 evaluates Equation (7): V·C_put + R·C_get + L·C_list.
+func S3(cat pricing.Catalog, u ObjectUsage) float64 {
+	return float64(u.Puts)*cat.S3Put + float64(u.Gets)*cat.S3Get + float64(u.Lists)*cat.S3List
+}
+
+// PredictSerial evaluates Equation (3): C_Serial = C_lambda.
+func PredictSerial(cat pricing.Catalog, l LambdaUsage) usage.Breakdown {
+	return usage.Breakdown{Lambda: Lambda(cat, l)}
+}
+
+// PredictQueue evaluates Equation (1): C_Queue = C_lambda + C_SNS + C_SQS.
+func PredictQueue(cat pricing.Catalog, l LambdaUsage, q QueueUsage) usage.Breakdown {
+	return usage.Breakdown{
+		Lambda: Lambda(cat, l),
+		SNS:    SNS(cat, q),
+		SQS:    SQS(cat, q),
+	}
+}
+
+// PredictObject evaluates Equation (2): C_Object = C_lambda + C_S3.
+func PredictObject(cat pricing.Catalog, l LambdaUsage, o ObjectUsage) usage.Breakdown {
+	return usage.Breakdown{
+		Lambda: Lambda(cat, l),
+		S3:     S3(cat, o),
+	}
+}
+
+// Validation compares a cost prediction built from worker-side metrics
+// against the billed actuals from the usage meter (§VI-F). The paper
+// reports compute/comms/total agreement to the cent.
+type Validation struct {
+	Predicted usage.Breakdown
+	Actual    usage.Breakdown
+}
+
+// ComputeAgrees reports whether predicted and actual compute costs agree
+// within tol (relative).
+func (v Validation) ComputeAgrees(tol float64) bool {
+	return relClose(v.Predicted.Lambda+v.Predicted.EC2, v.Actual.Lambda+v.Actual.EC2, tol)
+}
+
+// CommsAgree reports whether predicted and actual communication costs
+// agree within tol (relative).
+func (v Validation) CommsAgree(tol float64) bool {
+	return relClose(v.Predicted.Comms(), v.Actual.Comms(), tol)
+}
+
+// TotalAgrees reports whether totals agree within tol (relative).
+func (v Validation) TotalAgrees(tol float64) bool {
+	return relClose(v.Predicted.Total(), v.Actual.Total(), tol)
+}
+
+func relClose(a, b, tol float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1e-12 {
+		return diff < 1e-12
+	}
+	return diff/scale <= tol
+}

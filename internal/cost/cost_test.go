@@ -1,0 +1,149 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fsdinference/internal/cloud/pricing"
+	"fsdinference/internal/cloud/usage"
+)
+
+func TestLambdaEquation(t *testing.T) {
+	cat := pricing.Default()
+	// 20 workers at 2000 MB running 30 s each: Eq (4).
+	u := LambdaUsage{Invocations: 20, MemoryMB: 2000, TotalRuntime: 20 * 30 * time.Second}
+	got := Lambda(cat, u)
+	want := 20*cat.LambdaInvoke + 2000.0/1024*600*cat.LambdaGBSecond
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Lambda = %v, want %v", got, want)
+	}
+}
+
+func TestQueueEquations(t *testing.T) {
+	cat := pricing.Default()
+	q := QueueUsage{BilledPublishes: 1_000_000, DeliveredBytes: 2e9, SQSRequests: 500_000}
+	if got, want := SNS(cat, q), 0.50+2*0.09; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SNS = %v, want %v", got, want)
+	}
+	if got, want := SQS(cat, q), 0.20; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SQS = %v, want %v", got, want)
+	}
+}
+
+func TestObjectEquation(t *testing.T) {
+	cat := pricing.Default()
+	o := ObjectUsage{Puts: 10_000, Gets: 50_000, Lists: 4_000}
+	got := S3(cat, o)
+	want := 10_000*cat.S3Put + 50_000*cat.S3Get + 4_000*cat.S3List
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("S3 = %v, want %v", got, want)
+	}
+}
+
+func TestPredictTotalsCombine(t *testing.T) {
+	cat := pricing.Default()
+	l := LambdaUsage{Invocations: 5, MemoryMB: 1024, TotalRuntime: time.Minute}
+	q := QueueUsage{BilledPublishes: 100, DeliveredBytes: 1e6, SQSRequests: 50}
+	o := ObjectUsage{Puts: 10, Gets: 10, Lists: 5}
+
+	serial := PredictSerial(cat, l)
+	queue := PredictQueue(cat, l, q)
+	object := PredictObject(cat, l, o)
+
+	if serial.Comms() != 0 {
+		t.Fatal("serial prediction has communication cost")
+	}
+	if queue.Total() <= serial.Total() {
+		t.Fatal("queue prediction should add comms cost")
+	}
+	if object.S3 == 0 || object.SNS != 0 {
+		t.Fatalf("object prediction wrong shape: %+v", object)
+	}
+}
+
+func TestQueueAPIRequestsCheaperAtModerateVolume(t *testing.T) {
+	// §IV-C: for payloads within publish capacity, pub-sub/queueing API
+	// costs are 1-2 OOM below object storage.
+	cat := pricing.Default()
+	q, o := APICost(cat, 100, 32*1024)
+	if q*10 > o {
+		t.Fatalf("queue API cost %v not ~1 OOM below object %v", q, o)
+	}
+}
+
+func TestObjectWinsAtHugeVolumes(t *testing.T) {
+	// When each pair ships hundreds of MB, publish amplification makes the
+	// queue channel more expensive than per-request object pricing.
+	cat := pricing.Default()
+	q, o := APICost(cat, 100, 512*1024*1024)
+	if q < o {
+		t.Fatalf("queue API cost %v should exceed object %v at 512 MB/pair", q, o)
+	}
+}
+
+func TestAPICostZeroPairs(t *testing.T) {
+	q, o := APICost(pricing.Default(), 0, 1000)
+	if q != 0 || o != 0 {
+		t.Fatalf("zero pairs costed %v/%v", q, o)
+	}
+}
+
+func TestRecommendSerialForSmallModels(t *testing.T) {
+	adv := Recommend(Workload{
+		ModelBytes: 30 << 20, MemOverhead: 5.5, InstanceCapMB: 10240,
+		Workers: 8, BytesPerPairPerLayer: 10_000, PairsPerLayer: 50, Layers: 120,
+	})
+	if adv.Channel != ChannelSerial {
+		t.Fatalf("recommended %v, want serial (model fits)", adv.Channel)
+	}
+	if len(adv.Reasons) == 0 {
+		t.Fatal("no reasoning returned")
+	}
+}
+
+func TestRecommendQueueForModerateVolumes(t *testing.T) {
+	adv := Recommend(Workload{
+		ModelBytes: 4 << 30, MemOverhead: 5.5, InstanceCapMB: 10240,
+		Workers: 42, BytesPerPairPerLayer: 100 * 1024, PairsPerLayer: 500, Layers: 120,
+	})
+	if adv.Channel != ChannelQueue {
+		t.Fatalf("recommended %v, want queue", adv.Channel)
+	}
+}
+
+func TestRecommendObjectForHugeVolumes(t *testing.T) {
+	adv := Recommend(Workload{
+		ModelBytes: 4 << 30, MemOverhead: 5.5, InstanceCapMB: 10240,
+		Workers: 62, BytesPerPairPerLayer: 64 << 20, PairsPerLayer: 2000, Layers: 120,
+	})
+	if adv.Channel != ChannelObject {
+		t.Fatalf("recommended %v, want object", adv.Channel)
+	}
+}
+
+func TestValidationAgreement(t *testing.T) {
+	v := Validation{
+		Predicted: usage.Breakdown{Lambda: 0.10, SNS: 0.20, SQS: 0.05},
+		Actual:    usage.Breakdown{Lambda: 0.10, SNS: 0.21, SQS: 0.05},
+	}
+	if !v.ComputeAgrees(0.01) {
+		t.Fatal("identical compute should agree")
+	}
+	if v.CommsAgree(0.01) {
+		t.Fatal("4% comms difference should fail 1% tolerance")
+	}
+	if !v.CommsAgree(0.05) {
+		t.Fatal("4% comms difference should pass 5% tolerance")
+	}
+	if !v.TotalAgrees(0.05) {
+		t.Fatal("totals should agree at 5%")
+	}
+}
+
+func TestValidationZeroBaseline(t *testing.T) {
+	v := Validation{}
+	if !v.TotalAgrees(0.01) || !v.CommsAgree(0.01) || !v.ComputeAgrees(0.01) {
+		t.Fatal("zero-vs-zero should agree")
+	}
+}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Experiments share one lab and run once; tests assert on the cached
+// tables.
+var (
+	labOnce sync.Once
+	lab     *Lab
+	tables  map[string]*Table
+	tabErr  map[string]error
+)
+
+func table(t *testing.T, id string) *Table {
+	t.Helper()
+	labOnce.Do(func() {
+		lab = NewLab(QuickScale())
+		tables = make(map[string]*Table)
+		tabErr = make(map[string]error)
+		for _, r := range Registry() {
+			tab, err := r.Run(lab)
+			tables[r.ID] = tab
+			tabErr[r.ID] = err
+		}
+	})
+	if err := tabErr[id]; err != nil {
+		t.Fatalf("experiment %s failed: %v", id, err)
+	}
+	return tables[id]
+}
+
+func cellFloat(t *testing.T, tab *Table, key, col string) float64 {
+	t.Helper()
+	s, ok := tab.Cell(key, col)
+	if !ok {
+		t.Fatalf("%s: no cell (%s, %s)", tab.ID, key, col)
+	}
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "*"), "k")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%s,%s)=%q not numeric", tab.ID, key, col, s)
+	}
+	return v
+}
+
+func TestRegistryCompleteAndUnique(t *testing.T) {
+	ids := map[string]bool{}
+	for _, r := range Registry() {
+		if ids[r.ID] {
+			t.Fatalf("duplicate experiment id %s", r.ID)
+		}
+		ids[r.ID] = true
+		if r.Desc == "" || r.Run == nil {
+			t.Fatalf("experiment %s incomplete", r.ID)
+		}
+	}
+	for _, want := range []string{"fig4", "fig5", "fig6", "table2", "table3", "costval"} {
+		if !ids[want] {
+			t.Fatalf("missing paper experiment %s", want)
+		}
+	}
+	if _, ok := Find("fig4"); !ok {
+		t.Fatal("Find failed for fig4")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find invented an experiment")
+	}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	for _, r := range Registry() {
+		tab := table(t, r.ID)
+		if tab == nil || len(tab.Rows) == 0 || len(tab.Columns) == 0 {
+			t.Fatalf("%s produced an empty table", r.ID)
+		}
+		if s := tab.String(); !strings.Contains(s, tab.Title) {
+			t.Fatalf("%s: rendering lost the title", r.ID)
+		}
+	}
+}
+
+func TestFig4ShapeFSDGrowsAOFlat(t *testing.T) {
+	tab := table(t, "fig4")
+	first := cellFloat(t, tab, "10k", "FSD-Inference")
+	last := cellFloat(t, tab, "5120k", "FSD-Inference")
+	if last <= first {
+		t.Fatalf("FSD daily cost flat: %v -> %v", first, last)
+	}
+	aoFirst := cellFloat(t, tab, "10k", "Server-Always-On")
+	aoLast := cellFloat(t, tab, "5120k", "Server-Always-On")
+	if aoFirst != aoLast {
+		t.Fatal("always-on cost should be flat")
+	}
+	// At low volumes FSD must be dramatically cheaper (the paper's core
+	// sporadic-workload claim).
+	if first*100 > aoFirst {
+		t.Fatalf("FSD at 10k/day ($%v) not far below always-on ($%v)", first, aoFirst)
+	}
+}
+
+func TestFig5ShapeParallelismPaysOffAtScale(t *testing.T) {
+	tab := table(t, "fig5")
+	largest := tab.Rows[len(tab.Rows)-1][0]
+	fsd := cellFloat(t, tab, largest, "FSD-Inf")
+	aoHot := cellFloat(t, tab, largest, "AO-Hot")
+	aoCold := cellFloat(t, tab, largest, "AO-Cold")
+	js := cellFloat(t, tab, largest, "JS")
+	if !(fsd < aoHot && fsd < aoCold && fsd < js) {
+		t.Fatalf("at N=%s FSD (%v) should beat AO-Hot (%v), AO-Cold (%v) and JS (%v)",
+			largest, fsd, aoHot, aoCold, js)
+	}
+	// At the smallest size the always-on hot server wins (paper Fig. 5).
+	smallest := tab.Rows[0][0]
+	if cellFloat(t, tab, smallest, "AO-Hot") >= cellFloat(t, tab, smallest, "FSD-Inf") {
+		t.Fatalf("at N=%s AO-Hot should beat FSD", smallest)
+	}
+	// JS pays provisioning on every query: never the winner.
+	for _, row := range tab.Rows {
+		js := cellFloat(t, tab, row[0], "JS")
+		if js < cellFloat(t, tab, row[0], "AO-Hot") {
+			t.Fatalf("JS beat AO-Hot at N=%s", row[0])
+		}
+	}
+}
+
+func TestFig6ShapeObjectCostGrowsFasterWithP(t *testing.T) {
+	tab := table(t, "fig6")
+	// For each size: object cost at max P must exceed queue cost at max
+	// P, and object cost must grow with P.
+	type point struct{ q, o float64 }
+	bySize := map[string][]point{}
+	var order []string
+	for _, row := range tab.Rows {
+		if row[0] == "" {
+			continue
+		}
+		q, _ := strconv.ParseFloat(row[2], 64)
+		o, _ := strconv.ParseFloat(row[5], 64)
+		qc, _ := strconv.ParseFloat(row[3], 64)
+		oc, _ := strconv.ParseFloat(row[5], 64)
+		_ = q
+		_ = o
+		if _, ok := bySize[row[0]]; !ok {
+			order = append(order, row[0])
+		}
+		bySize[row[0]] = append(bySize[row[0]], point{qc, oc})
+	}
+	for _, size := range order {
+		pts := bySize[size]
+		lastP := pts[len(pts)-1]
+		if lastP.o <= lastP.q {
+			t.Fatalf("N=%s: object cost %v not above queue cost %v at max P", size, lastP.o, lastP.q)
+		}
+		if pts[len(pts)-1].o <= pts[0].o {
+			t.Fatalf("N=%s: object cost did not grow with P", size)
+		}
+	}
+}
+
+func TestTable2SerialParallelCrossover(t *testing.T) {
+	tab := table(t, "table2")
+	rows := tab.Rows
+	smallest := rows[0][0]
+	third := rows[2][0]
+	largest := rows[len(rows)-1][0]
+
+	// Serial wins at the smallest size (paper: 2.00 vs 6.43 ms).
+	if cellFloat(t, tab, smallest, "FSD-Inf-Serial") >= cellFloat(t, tab, smallest, "FSD-Inf-Parallel") {
+		t.Fatalf("serial should win at N=%s", smallest)
+	}
+	// Parallel wins at the third size (paper: 12.97 vs 32.62 ms).
+	if cellFloat(t, tab, third, "FSD-Inf-Parallel") >= cellFloat(t, tab, third, "FSD-Inf-Serial") {
+		t.Fatalf("parallel should win at N=%s", third)
+	}
+	// Serial and Sage are infeasible at the largest size.
+	if s, _ := tab.Cell(largest, "FSD-Inf-Serial"); s != "-" {
+		t.Fatalf("serial at N=%s should be infeasible, got %q", largest, s)
+	}
+	if s, _ := tab.Cell(largest, "Sage-SL-Inf"); s != "-" {
+		t.Fatalf("sage at N=%s should be infeasible, got %q", largest, s)
+	}
+	// Sage processes only a payload-capped sample count.
+	if s, _ := tab.Cell(smallest, "Sage samples"); !strings.Contains(s, "8192 of 10000") {
+		t.Fatalf("sage samples at N=%s = %q, want 8192 of 10000", smallest, s)
+	}
+}
+
+func TestTable3HGPBeatsRandom(t *testing.T) {
+	tab := table(t, "table3")
+	hgp := cellFloat(t, tab, "HGP-DNN", "data volume sent (B)")
+	rp := cellFloat(t, tab, "RP", "data volume sent (B)")
+	if hgp*2 >= rp {
+		t.Fatalf("HGP volume %v not well below RP %v", hgp, rp)
+	}
+	hgpMS := cellFloat(t, tab, "HGP-DNN", "per-sample runtime (ms)")
+	rpMS := cellFloat(t, tab, "RP", "per-sample runtime (ms)")
+	if hgpMS >= rpMS {
+		t.Fatalf("HGP runtime %v not below RP %v", hgpMS, rpMS)
+	}
+}
+
+func TestCostValidationAgrees(t *testing.T) {
+	tab := table(t, "costval")
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("cost validation failed for %s: %v", row[0], row)
+		}
+	}
+}
+
+func TestPollingAblationLongWins(t *testing.T) {
+	tab := table(t, "polling")
+	longReq := cellFloat(t, tab, "long (W=2s)", "SQS requests")
+	shortReq := cellFloat(t, tab, "short (W=0)", "SQS requests")
+	if longReq >= shortReq {
+		t.Fatalf("long polling requests %v not below short %v", longReq, shortReq)
+	}
+	longPer := cellFloat(t, tab, "long (W=2s)", "msgs/poll")
+	shortPer := cellFloat(t, tab, "short (W=0)", "msgs/poll")
+	if longPer <= shortPer {
+		t.Fatalf("long polling msgs/poll %v not above short %v", longPer, shortPer)
+	}
+}
+
+func TestLaunchAblationHierarchicalBeatsCentralized(t *testing.T) {
+	tab := table(t, "launch")
+	h := cellFloat(t, tab, "hierarchical", "tree populated (s)")
+	c := cellFloat(t, tab, "centralized", "tree populated (s)")
+	if h >= c {
+		t.Fatalf("hierarchical %v not faster than centralized %v", h, c)
+	}
+}
+
+func TestCompressionAblationShrinksBytes(t *testing.T) {
+	tab := table(t, "compression")
+	z := cellFloat(t, tab, "zlib", "bytes sent")
+	o := cellFloat(t, tab, "off", "bytes sent")
+	if z >= o {
+		t.Fatalf("zlib bytes %v not below uncompressed %v", z, o)
+	}
+	if cellFloat(t, tab, "zlib", "total $") > cellFloat(t, tab, "off", "total $") {
+		t.Fatal("compression should not raise total cost")
+	}
+}
+
+func TestQuotaAblationCrossover(t *testing.T) {
+	tab := table(t, "quota")
+	small := cellFloat(t, tab, "1024", "queue/object")
+	big := cellFloat(t, tab, "268435456", "queue/object")
+	if small >= 0.1 {
+		t.Fatalf("queue/object ratio at 1KB = %v, want ~1 OOM cheaper", small)
+	}
+	if big <= 1 {
+		t.Fatalf("queue/object ratio at 256MB = %v, want object cheaper", big)
+	}
+}
+
+func TestDilationArithmetic(t *testing.T) {
+	l := NewLab(QuickScale())
+	size := l.Scale.Sizes[0] // 256 -> 1024
+	// macRatio = (1024/256) * (120/12) = 40; batch ratio = 10000/32.
+	want := 40.0 * 10000 / 32
+	if got := l.Dilation(size); got != want {
+		t.Fatalf("dilation = %v, want %v", got, want)
+	}
+	if got := l.layerDilation(size); got != want*12/120 {
+		t.Fatalf("layer dilation = %v, want %v", got, want*12/120)
+	}
+}
+
+func TestPaperFeasibilityGates(t *testing.T) {
+	l := NewLab(QuickScale())
+	if !l.SerialFeasiblePaper(16384) {
+		t.Fatal("N=16384 should fit the serial instance")
+	}
+	if l.SerialFeasiblePaper(65536) {
+		t.Fatal("N=65536 should exceed the serial instance (paper)")
+	}
+	if !l.SageFeasiblePaper(16384) || l.SageFeasiblePaper(65536) {
+		t.Fatal("sage feasibility gates wrong")
+	}
+	if got := l.SageSamplesPaper(1024); got != 8192 {
+		t.Fatalf("sage samples at 1024 = %d, want 8192", got)
+	}
+}
+
+func TestTableCellLookup(t *testing.T) {
+	tab := &Table{
+		Columns: []string{"k", "v"},
+		Rows:    [][]string{{"a", "1"}, {"b", "2"}},
+	}
+	if v, ok := tab.Cell("b", "v"); !ok || v != "2" {
+		t.Fatalf("Cell = %q, %v", v, ok)
+	}
+	if _, ok := tab.Cell("c", "v"); ok {
+		t.Fatal("missing key found")
+	}
+	if _, ok := tab.Cell("a", "w"); ok {
+		t.Fatal("missing column found")
+	}
+}

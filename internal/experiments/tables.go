@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fsdinference/internal/baselines"
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/cloud/pricing"
+	"fsdinference/internal/cloud/usage"
+	"fsdinference/internal/core"
+	"fsdinference/internal/cost"
+	"fsdinference/internal/model"
+	"fsdinference/internal/partition"
+)
+
+// Table2PerSample regenerates Table II: end-to-end per-sample runtime of
+// the best parallel FSD variant, FSD-Inf-Serial and Sage-SL-Inf per model
+// size. Paper-scale feasibility gates mark the configurations the paper
+// reports as failing (serial and the endpoint at N=65536).
+func Table2PerSample(l *Lab) (*Table, error) {
+	t := &Table{
+		ID:      "table2",
+		Title:   "End-to-end per-sample runtime (ms)",
+		Columns: []string{"N(paper)", "FSD-Inf-Parallel", "FSD-Inf-Serial", "Sage-SL-Inf", "Sage samples"},
+	}
+	for _, size := range l.Scale.Sizes {
+		// Best parallel config across the worker grid and both channels,
+		// projected to paper scale from time-dilated runs.
+		bestMS := -1.0
+		for _, p := range l.Scale.Workers {
+			for _, kind := range []core.ChannelKind{core.Queue, core.Object} {
+				r, err := l.RunDilated(size, p, kind, partition.Block, nil)
+				if err != nil {
+					return nil, fmt.Errorf("table2 N=%d P=%d %v: %w", size.Scaled, p, kind, err)
+				}
+				msv := l.ProjectPerSampleMS(size, r)
+				if bestMS < 0 || msv < bestMS {
+					bestMS = msv
+				}
+			}
+		}
+
+		serialCell := "-"
+		if l.SerialFeasiblePaper(size.Paper) {
+			r, err := l.RunDilated(size, 1, core.Serial, partition.Block, nil)
+			if err != nil {
+				return nil, fmt.Errorf("table2 serial N=%d: %w", size.Scaled, err)
+			}
+			serialCell = fmt.Sprintf("%.2f", l.ProjectPerSampleMS(size, r))
+		}
+
+		sageCell, sageSamples := "-", "-"
+		if l.SageFeasiblePaper(size.Paper) {
+			m, err := l.Model(size.Scaled)
+			if err != nil {
+				return nil, err
+			}
+			r, err := baselines.RunSageSL(env.NewDefault(), m, l.Input(size.Scaled, size.Batch), baselines.DefaultSageConfig())
+			if err != nil {
+				return nil, fmt.Errorf("table2 sage N=%d: %w", size.Scaled, err)
+			}
+			// Project the per-processed-sample time by the compute
+			// ratio between paper and stand-in models.
+			perSample := float64(r.Latency) / float64(r.SamplesProcessed) * l.macRatio(size)
+			sageCell = fmt.Sprintf("%.2f*", perSample/float64(time.Millisecond))
+			// The samples column reports the paper-scale payload cap
+			// (the 8,000/2,500/1,000 observation).
+			sageSamples = fmt.Sprintf("%d of %d", l.SageSamplesPaper(size.Paper), l.Scale.PaperBatch)
+		}
+
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", size.Paper),
+			fmt.Sprintf("%.2f", bestMS),
+			serialCell,
+			sageCell,
+			sageSamples,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"\"-\" marks configurations infeasible at paper scale: the N=65536 model exceeds the",
+		"10,240 MB serial instance and the 6 GB endpoint cap, as the paper reports;",
+		"* per processed sample; the endpoint's 6 MB payload truncates the batch (paper: 8000/2500/1000)",
+		"paper shape: serial wins for small N, parallel overtakes from N=16384")
+	return t, nil
+}
+
+// Table3Partitioning regenerates Table III: FSD-Inf-Object communication
+// volumes and runtime under HGP-DNN versus random partitioning (RP), at the
+// scaled stand-in for N=16384, P=42.
+func Table3Partitioning(l *Lab) (*Table, error) {
+	sizeIdx := 2 // stand-in for N=16384
+	if sizeIdx >= len(l.Scale.Sizes) {
+		sizeIdx = len(l.Scale.Sizes) - 1
+	}
+	size := l.Scale.Sizes[sizeIdx]
+	workers := 42
+	if len(l.Scale.Workers) < 3 {
+		workers = l.Scale.Workers[len(l.Scale.Workers)-1]
+	} else {
+		workers = l.Scale.Workers[2]
+	}
+
+	t := &Table{
+		ID:    "table3",
+		Title: fmt.Sprintf("FSD-Inf-Object communication under HGP-DNN vs RP (N(paper)=%d, P=%d)", size.Paper, workers),
+		Columns: []string{
+			"scheme", "data volume sent (B)", "rows sent per target", "per-sample runtime (ms)",
+		},
+	}
+	var volumes [2]int64
+	for i, scheme := range []partition.Scheme{partition.HGPDNN, partition.Random} {
+		r, err := l.RunFSD(size.Scaled, workers, size.Batch, core.Object, scheme, nil)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %v: %w", scheme, err)
+		}
+		var pairs int64
+		for _, w := range r.Workers {
+			pairs += w.MessagesSent
+		}
+		rowsPerTarget := float64(r.TotalRowsSent()) / float64(max64(pairs, 1))
+		volumes[i] = r.TotalBytesSent()
+		t.Rows = append(t.Rows, []string{
+			scheme.String(),
+			fmt.Sprintf("%d", r.TotalBytesSent()),
+			fmt.Sprintf("%.0f", rowsPerTarget),
+			msPerSample(r.Latency, r.Batch),
+		})
+	}
+	if volumes[1] > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"HGP-DNN ships %.1fx less data than RP (paper: 9.3x at full scale)",
+			float64(volumes[1])/float64(max64(volumes[0], 1))))
+	}
+	return t, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CostValidation regenerates the §VI-F check: costs predicted from
+// worker-side fine-grained metrics via Equations (1)-(7) against the billed
+// actuals from the usage meter, for both channels at the stand-in for
+// N=16384, P=20.
+func CostValidation(l *Lab) (*Table, error) {
+	sizeIdx := 2
+	if sizeIdx >= len(l.Scale.Sizes) {
+		sizeIdx = len(l.Scale.Sizes) - 1
+	}
+	size := l.Scale.Sizes[sizeIdx]
+	workers := 20
+	if len(l.Scale.Workers) > 1 {
+		workers = l.Scale.Workers[1]
+	}
+	cat := env.DefaultConfig().Pricing
+
+	t := &Table{
+		ID:    "costval",
+		Title: fmt.Sprintf("Cost model validation (N(paper)=%d, P=%d)", size.Paper, workers),
+		Columns: []string{
+			"variant", "pred comp", "act comp", "pred comms", "act comms", "pred total", "act total", "agree<1%",
+		},
+	}
+	for _, kind := range []core.ChannelKind{core.Queue, core.Object} {
+		r, err := l.RunFSD(size.Scaled, workers, l.Scale.Batch, kind, partition.Block, nil)
+		if err != nil {
+			return nil, fmt.Errorf("costval %v: %w", kind, err)
+		}
+		v := ValidateRun(cat, r, kind, core.DefaultWorkerMemoryMB(size.Scaled))
+		ok := v.ComputeAgrees(0.01) && v.CommsAgree(0.01) && v.TotalAgrees(0.01)
+		t.Rows = append(t.Rows, []string{
+			kind.String(),
+			dollars(v.Predicted.Lambda), dollars(v.Actual.Lambda),
+			dollars(v.Predicted.Comms()), dollars(v.Actual.Comms()),
+			dollars(v.Predicted.Total()), dollars(v.Actual.Total()),
+			fmt.Sprintf("%v", ok),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"predictions use only worker-side ledgers (runtimes, billed-publish counts, byte counts,",
+		"poll/delete/PUT/GET/LIST counts); actuals come from the metered billing records,",
+		"mirroring the paper's Cost & Usage report comparison")
+	return t, nil
+}
+
+// ValidateRun builds the §VI-F validation for one run: the prediction uses
+// only worker-side fine-grained metrics evaluated through Equations
+// (1)-(7); the actual side is the run's metered billing.
+func ValidateRun(cat pricing.Catalog, r *core.Result, kind core.ChannelKind, workerMemMB int) cost.Validation {
+	var workerRuntime time.Duration
+	var billedPubs, msgBytes, polls, deletes int64
+	var puts, gets, lists, storeGets, storePuts int64
+	for _, w := range r.Workers {
+		workerRuntime += w.Runtime()
+		billedPubs += w.BilledPublishes
+		msgBytes += w.BytesSent + w.AttrBytes
+		polls += w.Polls
+		deletes += w.Deletes
+		storeGets += w.StoreGets
+		storePuts += w.StorePuts
+		if kind == core.Object {
+			puts += w.Publishes
+			gets += w.Fetches
+			lists += w.Polls
+		}
+	}
+	workers := cost.LambdaUsage{
+		Invocations:  int64(len(r.Workers)),
+		MemoryMB:     workerMemMB,
+		TotalRuntime: workerRuntime,
+	}
+	coord := cost.LambdaUsage{MemoryMB: 128, TotalRuntime: r.CoordinatorRuntime}
+	if r.CoordinatorRuntime > 0 {
+		coord.Invocations = 1
+	}
+
+	var pred usage.Breakdown
+	switch kind {
+	case core.Queue:
+		pred = cost.PredictQueue(cat, workers, cost.QueueUsage{
+			BilledPublishes: billedPubs,
+			DeliveredBytes:  msgBytes,
+			SQSRequests:     polls + deletes,
+		})
+		pred.S3 = cost.S3(cat, cost.ObjectUsage{Puts: storePuts, Gets: storeGets})
+	case core.Object:
+		pred = cost.PredictObject(cat, workers, cost.ObjectUsage{
+			Puts: puts + storePuts,
+			Gets: gets + storeGets,
+			// The non-root barrier waits poll LISTs too; Polls counts
+			// them already via the channel's ledger.
+			Lists: lists,
+		})
+	default:
+		pred = cost.PredictSerial(cat, workers)
+		pred.S3 = cost.S3(cat, cost.ObjectUsage{Puts: storePuts, Gets: storeGets})
+	}
+	pred.Lambda += cost.Lambda(cat, coord)
+	return cost.Validation{Predicted: pred, Actual: r.Cost}
+}
+
+var _ = model.Model{}

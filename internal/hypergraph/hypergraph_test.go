@@ -1,0 +1,357 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ring builds a ring hypergraph: n vertices, each net {i, i+1 mod n}.
+func ring(n int) *Hypergraph {
+	w := make([]int64, n)
+	nets := make([][]int32, n)
+	costs := make([]int64, n)
+	for i := 0; i < n; i++ {
+		w[i] = 1
+		nets[i] = []int32{int32(i), int32((i + 1) % n)}
+		costs[i] = 1
+	}
+	h, err := New(n, w, nets, costs)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// clusters builds c dense clusters of size s with a single weak link
+// between consecutive clusters.
+func clusters(c, s int) *Hypergraph {
+	n := c * s
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	var nets [][]int32
+	var costs []int64
+	for ci := 0; ci < c; ci++ {
+		base := int32(ci * s)
+		// Dense intra-cluster nets.
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				nets = append(nets, []int32{base + int32(i), base + int32(j)})
+				costs = append(costs, 3)
+			}
+		}
+		// One weak inter-cluster link.
+		if ci+1 < c {
+			nets = append(nets, []int32{base + int32(s-1), base + int32(s)})
+			costs = append(costs, 1)
+		}
+	}
+	h, err := New(n, w, nets, costs)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, []int64{1}, nil, nil); err == nil {
+		t.Error("weight/vertex mismatch accepted")
+	}
+	if _, err := New(2, []int64{1, 1}, [][]int32{{0}}, nil); err == nil {
+		t.Error("net/cost mismatch accepted")
+	}
+	if _, err := New(2, []int64{1, 1}, [][]int32{{0, 5}}, []int64{1}); err == nil {
+		t.Error("out-of-range pin accepted")
+	}
+}
+
+func TestNewDeduplicatesPins(t *testing.T) {
+	h, err := New(3, []int64{1, 1, 1}, [][]int32{{0, 1, 1, 0, 2}}, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumPins() != 3 {
+		t.Fatalf("pins = %d, want 3 after dedup", h.NumPins())
+	}
+}
+
+func TestVertexIncidence(t *testing.T) {
+	h, _ := New(3, []int64{1, 1, 1}, [][]int32{{0, 1}, {1, 2}, {0, 2}}, []int64{1, 1, 1})
+	if got := h.vertNets(1); len(got) != 2 {
+		t.Fatalf("vertex 1 nets = %v", got)
+	}
+	if h.TotalWeight() != 3 {
+		t.Fatalf("total weight = %d", h.TotalWeight())
+	}
+}
+
+func TestConnectivityCostAndCutNets(t *testing.T) {
+	h, _ := New(4, []int64{1, 1, 1, 1},
+		[][]int32{{0, 1}, {0, 1, 2, 3}, {2, 3}}, []int64{5, 2, 7})
+	part := []int32{0, 0, 1, 2}
+	// Net 0: all part 0, lambda=1, contributes 0.
+	// Net 1: parts {0,1,2}, lambda=3, contributes 2*(3-1)=4.
+	// Net 2: parts {1,2}, lambda=2, contributes 7.
+	if got := h.ConnectivityCost(part); got != 11 {
+		t.Fatalf("connectivity = %d, want 11", got)
+	}
+	if got := h.CutNets(part); got != 2 {
+		t.Fatalf("cut nets = %d, want 2", got)
+	}
+}
+
+func TestPartitionK1(t *testing.T) {
+	h := ring(10)
+	part, err := Partition(h, 1, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range part {
+		if p != 0 {
+			t.Fatal("k=1 must put everything in part 0")
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	h := ring(4)
+	if _, err := Partition(h, 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Partition(h, 5, Options{}); err == nil {
+		t.Error("k > numV accepted")
+	}
+}
+
+func TestPartitionRingOptimal(t *testing.T) {
+	// A 64-ring split into 2 parts has an optimal cut of 2 nets; the
+	// partitioner should find it (or at worst 4).
+	h := ring(64)
+	part, err := Partition(h, 2, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := h.CutNets(part); cut > 4 {
+		t.Fatalf("ring cut = %d, want <= 4", cut)
+	}
+	if imb := h.Imbalance(part, 2); imb > 0.06 {
+		t.Fatalf("imbalance = %.3f", imb)
+	}
+}
+
+func TestPartitionClustersRespectsStructure(t *testing.T) {
+	// 8 dense clusters, k=4: the optimal partition groups whole clusters
+	// (2 per part) and cuts only weak links.
+	h := clusters(8, 12)
+	part, err := Partition(h, 4, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cluster must land entirely in one part.
+	for ci := 0; ci < 8; ci++ {
+		p0 := part[ci*12]
+		for i := 1; i < 12; i++ {
+			if part[ci*12+i] != p0 {
+				t.Fatalf("cluster %d split across parts", ci)
+			}
+		}
+	}
+	if imb := h.Imbalance(part, 4); imb > 0.06 {
+		t.Fatalf("imbalance = %.3f", imb)
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 8, 20, 42, 62} {
+		h := ring(1024)
+		part, err := Partition(h, k, Options{Seed: 7, Eps: 0.05})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// All part ids in range and all used.
+		used := make([]bool, k)
+		for _, p := range part {
+			if p < 0 || int(p) >= k {
+				t.Fatalf("k=%d: part id %d out of range", k, p)
+			}
+			used[p] = true
+		}
+		for p, u := range used {
+			if !u {
+				t.Fatalf("k=%d: part %d empty", k, p)
+			}
+		}
+		// Recursive bisection accumulates slack across ~log2(k)
+		// levels; allow a proportional bound.
+		if imb := h.Imbalance(part, k); imb > 0.30 {
+			t.Fatalf("k=%d: imbalance %.3f too high", k, imb)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	h := clusters(6, 10)
+	a, _ := Partition(h, 5, Options{Seed: 11})
+	b, _ := Partition(h, 5, Options{Seed: 11})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestPartitionBeatsRandom(t *testing.T) {
+	// On a locality-structured hypergraph the multilevel partitioner must
+	// deliver a large connectivity reduction versus random assignment —
+	// the Table III effect.
+	h := localityGraph(800, 6, 13)
+	k := 8
+	part, err := Partition(h, k, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	randPart := make([]int32, h.NumV)
+	for i := range randPart {
+		randPart[i] = int32(rng.Intn(k))
+	}
+	hgp := h.ConnectivityCost(part)
+	rnd := h.ConnectivityCost(randPart)
+	if hgp*2 >= rnd {
+		t.Fatalf("HGP connectivity %d not well below random %d", hgp, rnd)
+	}
+}
+
+// localityGraph mimics the DNN column-net hypergraph: each net connects a
+// vertex with fanin sources at mostly short distances.
+func localityGraph(n, fanin int, seed int64) *Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	var nets [][]int32
+	var costs []int64
+	for i := 0; i < n; i++ {
+		pins := []int32{int32(i)}
+		for j := 0; j < fanin; j++ {
+			d := 1 + rng.Intn(8)
+			if rng.Intn(8) == 0 {
+				d = rng.Intn(n)
+			}
+			if rng.Intn(2) == 0 {
+				d = -d
+			}
+			pins = append(pins, int32(((i+d)%n+n)%n))
+		}
+		nets = append(nets, pins)
+		costs = append(costs, 1)
+	}
+	h, err := New(n, w, nets, costs)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func TestPartitionPropertyValidAndBalanced(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		k := 2 + rng.Intn(6)
+		var nets [][]int32
+		var costs []int64
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(1 + rng.Intn(3))
+		}
+		for i := 0; i < n; i++ {
+			sz := 2 + rng.Intn(4)
+			pins := make([]int32, sz)
+			for j := range pins {
+				pins[j] = int32(rng.Intn(n))
+			}
+			nets = append(nets, pins)
+			costs = append(costs, int64(1+rng.Intn(5)))
+		}
+		h, err := New(n, w, nets, costs)
+		if err != nil {
+			return false
+		}
+		part, err := Partition(h, k, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		used := make(map[int32]bool)
+		for _, p := range part {
+			if p < 0 || int(p) >= k {
+				return false
+			}
+			used[p] = true
+		}
+		// Weighted random hypergraphs can't always balance tightly;
+		// assert a generous but real bound.
+		return len(used) == k && h.Imbalance(part, k) < 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineFMImprovesBadSplit(t *testing.T) {
+	// Start from an alternating (worst-case) split of a ring and check FM
+	// recovers a near-optimal cut at this single level.
+	h := ring(128)
+	side := make([]int8, 128)
+	for i := range side {
+		side[i] = int8(i % 2)
+	}
+	before := bisectCut(h, side)
+	rng := rand.New(rand.NewSource(1))
+	refineFM(h, side, 64, 64, rng, Options{}.withDefaults())
+	after := bisectCut(h, side)
+	if after >= before/4 {
+		t.Fatalf("FM cut %d, want well below initial %d", after, before)
+	}
+	// Balance maintained.
+	var w0 int64
+	for v, s := range side {
+		if s == 0 {
+			w0 += h.VWeight[v]
+		}
+	}
+	if w0 < 55 || w0 > 73 {
+		t.Fatalf("side 0 weight %d badly unbalanced", w0)
+	}
+}
+
+func TestCoarsenPreservesWeight(t *testing.T) {
+	h := clusters(4, 8)
+	rng := rand.New(rand.NewSource(2))
+	coarse, vmap := coarsen(h, rng)
+	if coarse.TotalWeight() != h.TotalWeight() {
+		t.Fatalf("coarse weight %d != fine weight %d", coarse.TotalWeight(), h.TotalWeight())
+	}
+	if coarse.NumV >= h.NumV {
+		t.Fatalf("no contraction: %d -> %d", h.NumV, coarse.NumV)
+	}
+	for v, cv := range vmap {
+		if cv < 0 || int(cv) >= coarse.NumV {
+			t.Fatalf("vertex %d mapped to invalid coarse vertex %d", v, cv)
+		}
+	}
+}
+
+func TestImbalancePerfect(t *testing.T) {
+	h := ring(8)
+	part := []int32{0, 0, 0, 0, 1, 1, 1, 1}
+	if imb := h.Imbalance(part, 2); imb != 0 {
+		t.Fatalf("imbalance = %v, want 0", imb)
+	}
+	w := h.PartWeights(part, 2)
+	if w[0] != 4 || w[1] != 4 {
+		t.Fatalf("weights = %v", w)
+	}
+}

@@ -1,0 +1,445 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel with a virtual clock.
+//
+// Every simulated entity (a FaaS instance, a cloud-service delivery agent, a
+// worker thread) is a Proc: a goroutine whose execution strictly alternates
+// with the kernel's event loop. At most one Proc runs at any instant, so
+// simulation state needs no locking and runs are fully deterministic given
+// the same inputs. Real computation (sparse matrix kernels, compression)
+// executes inside a Proc's turn; the virtual clock only advances through
+// explicit calls such as Sleep, so wall-clock speed never affects reported
+// latencies.
+//
+// The kernel offers the small set of primitives the cloud simulators are
+// built from: timed sleeps, spawning, condition variables with timeouts
+// (virtual-time analogues of sync.Cond), wait groups, and token-bucket rate
+// limiters for provider API quotas.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// WakeReason reports why a blocked Proc resumed.
+type WakeReason int
+
+const (
+	// WakeTimer means the Proc's own sleep or timeout expired.
+	WakeTimer WakeReason = iota
+	// WakeSignal means a Cond it was waiting on was signalled.
+	WakeSignal
+	// WakeKill means the Proc was killed (e.g. FaaS timeout enforcement).
+	WakeKill
+)
+
+type eventKind int
+
+const (
+	evResume eventKind = iota // resume a blocked Proc
+	evStart                   // start a newly spawned Proc
+	evCall                    // run a non-blocking closure in kernel context
+)
+
+type event struct {
+	at   time.Duration
+	seq  uint64 // tie-break: FIFO among simultaneous events
+	kind eventKind
+
+	proc   *Proc
+	token  uint64 // must match proc.wake or the event is stale
+	reason WakeReason
+	fn     func()
+	timer  *Timer // if set and stopped, the event is dead
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() *event  { return h[0] }
+
+// Kernel is a discrete-event simulator instance. Create one with New, spawn
+// root processes with Go, then call Run.
+type Kernel struct {
+	now  time.Duration
+	eq   eventHeap
+	seq  uint64
+	step chan stepMsg
+
+	live    int // procs spawned and not yet finished
+	blocked map[*Proc]string
+
+	maxEvents uint64
+	events    uint64
+
+	failures []error
+}
+
+type stepMsg struct {
+	done bool
+	p    *Proc
+	err  error
+}
+
+// New returns a fresh Kernel with the clock at zero.
+func New() *Kernel {
+	return &Kernel{
+		step:      make(chan stepMsg),
+		blocked:   make(map[*Proc]string),
+		maxEvents: 1 << 62,
+	}
+}
+
+// SetEventLimit caps the number of events processed by Run; exceeding it
+// makes Run return an error. Useful for catching livelocks in tests.
+func (k *Kernel) SetEventLimit(n uint64) { k.maxEvents = n }
+
+// Now returns the current virtual time. It may be called from Proc context
+// or, between Run calls, from the host.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+func (k *Kernel) schedule(e *event) {
+	k.seq++
+	e.seq = k.seq
+	heap.Push(&k.eq, e)
+}
+
+// At schedules fn to run in kernel context at the current virtual time plus
+// d. fn must not block on simulation primitives; use Go for blocking work.
+func (k *Kernel) At(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(&event{at: k.now + d, kind: evCall, fn: fn})
+}
+
+// Timer is a cancellable scheduled closure created by After.
+type Timer struct {
+	stopped bool
+}
+
+// Stop cancels the timer; the closure will not run. Stopping an expired or
+// already-stopped timer is a no-op.
+func (t *Timer) Stop() { t.stopped = true }
+
+// After schedules fn like At but returns a Timer that can cancel it.
+// Long-lived watchdogs (function runtime limits, visibility timeouts)
+// should use After and Stop so stale events do not drag the virtual clock
+// forward after the watched work completes.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &Timer{}
+	k.schedule(&event{at: k.now + d, kind: evCall, fn: fn, timer: t})
+	return t
+}
+
+// Go spawns a new Proc named name that starts executing fn at the current
+// virtual time. It may be called before Run or from inside a running Proc.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	return k.GoAfter(0, name, fn)
+}
+
+// GoAfter spawns a new Proc that starts after virtual delay d.
+func (k *Kernel) GoAfter(d time.Duration, name string, fn func(p *Proc)) *Proc {
+	if d < 0 {
+		d = 0
+	}
+	p := &Proc{k: k, name: name, resume: make(chan WakeReason), fn: fn}
+	k.live++
+	k.schedule(&event{at: k.now + d, kind: evStart, proc: p})
+	return p
+}
+
+// Run processes events until none remain, then returns. It returns an error
+// if any Proc panicked, if Procs remain blocked with no pending events
+// (simulation deadlock), or if the event limit was exceeded.
+func (k *Kernel) Run() error {
+	for len(k.eq) > 0 {
+		k.events++
+		if k.events > k.maxEvents {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", k.maxEvents, k.now)
+		}
+		e := heap.Pop(&k.eq).(*event)
+		// Drop dead events without advancing the clock: cancelled
+		// timers and stale wakeups (e.g. a timeout superseded by a
+		// signal) must not drag virtual time forward.
+		if e.timer != nil && e.timer.stopped {
+			continue
+		}
+		if e.kind == evResume && (e.proc.finished || e.token != e.proc.wake) {
+			continue
+		}
+		if e.at > k.now {
+			k.now = e.at
+		}
+		switch e.kind {
+		case evCall:
+			e.fn()
+		case evStart:
+			p := e.proc
+			go p.run()
+			k.wait(p)
+		case evResume:
+			p := e.proc
+			p.wake++
+			p.resume <- e.reason
+			k.wait(p)
+		}
+	}
+	if k.live > 0 {
+		names := make([]string, 0, len(k.blocked))
+		for p, where := range k.blocked {
+			names = append(names, p.name+" ("+where+")")
+		}
+		sort.Strings(names)
+		return fmt.Errorf("sim: deadlock at t=%v: %d proc(s) blocked forever: %v", k.now, k.live, names)
+	}
+	if len(k.failures) > 0 {
+		return fmt.Errorf("sim: %d proc failure(s), first: %w", len(k.failures), k.failures[0])
+	}
+	return nil
+}
+
+// wait blocks until the currently running Proc yields or finishes.
+func (k *Kernel) wait(p *Proc) {
+	msg := <-k.step
+	if msg.done {
+		k.live--
+		delete(k.blocked, msg.p)
+		if msg.err != nil {
+			k.failures = append(k.failures, msg.err)
+		}
+	}
+}
+
+// Failures returns errors captured from panicking Procs.
+func (k *Kernel) Failures() []error { return k.failures }
+
+// Proc is a simulated process. Its methods must only be called from the
+// goroutine running the Proc's function.
+type Proc struct {
+	k      *Kernel
+	name   string
+	fn     func(*Proc)
+	resume chan WakeReason
+	wake   uint64
+	killed bool
+
+	finished bool
+	where    string
+}
+
+// Name returns the Proc's name, used in deadlock and failure reports.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this Proc runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+func (p *Proc) run() {
+	defer func() {
+		p.finished = true
+		if r := recover(); r != nil {
+			if r == errKilled {
+				p.k.step <- stepMsg{done: true, p: p}
+				return
+			}
+			p.k.step <- stepMsg{done: true, p: p, err: fmt.Errorf("proc %q panicked: %v", p.name, r)}
+			return
+		}
+		p.k.step <- stepMsg{done: true, p: p}
+	}()
+	p.fn(p)
+}
+
+// errKilled is the sentinel panic payload used to unwind a killed Proc.
+var errKilled = fmt.Errorf("sim: proc killed")
+
+// pause hands control back to the kernel and blocks until resumed.
+func (p *Proc) pause(where string) WakeReason {
+	p.where = where
+	p.k.blocked[p] = where
+	p.k.step <- stepMsg{}
+	r := <-p.resume
+	delete(p.k.blocked, p)
+	if r == WakeKill {
+		p.killed = true
+		panic(errKilled)
+	}
+	return r
+}
+
+// Sleep advances the Proc's virtual time by d. Negative durations count as
+// zero. Sleep(0) yields, letting other ready Procs run first.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.wake++
+	p.k.schedule(&event{at: p.k.now + d, kind: evResume, proc: p, token: p.wake, reason: WakeTimer})
+	p.pause("sleep")
+}
+
+// Yield lets all other Procs scheduled at the current instant run before
+// this one continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill forcibly terminates target the next time it blocks (or immediately if
+// it is already blocked). Used to enforce FaaS runtime limits.
+func (p *Proc) Kill(target *Proc) { p.k.Kill(target) }
+
+// Kill forcibly terminates target. It may be called from Proc context or
+// from an At closure. Killing a finished Proc is a no-op. The victim's
+// pending defers run, but it must not block on simulation primitives while
+// unwinding.
+func (k *Kernel) Kill(target *Proc) {
+	if target.finished {
+		return
+	}
+	target.wake++
+	k.schedule(&event{at: k.now, kind: evResume, proc: target, token: target.wake, reason: WakeKill})
+}
+
+// Killed reports whether this Proc has been killed and is unwinding. Cleanup
+// code (deferred billing, bookkeeping) can consult it to distinguish a
+// forced termination from a normal return.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Cond is a virtual-time condition variable. Procs wait on it; any Proc (or
+// kernel-context closure) may Broadcast to wake all current waiters at the
+// present virtual instant.
+type Cond struct {
+	k       *Kernel
+	waiters []condWaiter
+}
+
+type condWaiter struct {
+	p     *Proc
+	token uint64
+}
+
+// NewCond returns a condition variable bound to kernel k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait blocks p until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	p.wake++
+	c.waiters = append(c.waiters, condWaiter{p, p.wake})
+	p.pause("cond-wait")
+}
+
+// WaitTimeout blocks p until the next Broadcast or until d elapses. It
+// reports WakeSignal or WakeTimer accordingly.
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) WakeReason {
+	if d <= 0 {
+		// Degenerate timeout: behave like an immediate poll that found
+		// nothing, but still yield so signalers at this instant lose the
+		// race, matching a zero-wait service call.
+		p.Yield()
+		return WakeTimer
+	}
+	p.wake++
+	token := p.wake
+	c.waiters = append(c.waiters, condWaiter{p, token})
+	c.k.schedule(&event{at: c.k.now + d, kind: evResume, proc: p, token: token, reason: WakeTimer})
+	return p.pause("cond-wait-timeout")
+}
+
+// Broadcast wakes every Proc currently waiting on c. It may be called from
+// Proc context or from an At closure.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		if w.p.finished || w.token != w.p.wake {
+			continue
+		}
+		c.k.schedule(&event{at: c.k.now, kind: evResume, proc: w.p, token: w.token, reason: WakeSignal})
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// WaitGroup is a virtual-time analogue of sync.WaitGroup.
+type WaitGroup struct {
+	n    int
+	cond *Cond
+}
+
+// NewWaitGroup returns a WaitGroup bound to kernel k.
+func NewWaitGroup(k *Kernel) *WaitGroup { return &WaitGroup{cond: NewCond(k)} }
+
+// Add increments the counter by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks p until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.n > 0 {
+		w.cond.Wait(p)
+	}
+}
+
+// Limiter is a virtual-time token bucket used to model provider API quotas
+// (e.g. S3 requests per second per prefix). Procs taking tokens beyond the
+// available burst are delayed in FIFO order.
+type Limiter struct {
+	k        *Kernel
+	rate     float64 // tokens per second
+	burst    float64
+	tokens   float64
+	lastFill time.Duration
+}
+
+// NewLimiter returns a Limiter with the given sustained rate (tokens/second)
+// and burst capacity. A rate of 0 disables limiting.
+func NewLimiter(k *Kernel, rate, burst float64) *Limiter {
+	return &Limiter{k: k, rate: rate, burst: burst, tokens: burst}
+}
+
+// Take consumes n tokens, sleeping p until they are available.
+func (l *Limiter) Take(p *Proc, n float64) {
+	if l.rate <= 0 {
+		return
+	}
+	l.fill()
+	l.tokens -= n
+	if l.tokens >= 0 {
+		return
+	}
+	deficit := -l.tokens
+	wait := time.Duration(deficit / l.rate * float64(time.Second))
+	p.Sleep(wait)
+	l.fill()
+}
+
+func (l *Limiter) fill() {
+	elapsed := l.k.now - l.lastFill
+	l.lastFill = l.k.now
+	l.tokens += l.rate * elapsed.Seconds()
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAfterFires(t *testing.T) {
+	k := New()
+	var at time.Duration
+	k.After(3*time.Second, func() { at = k.Now() })
+	k.Go("keepalive", func(p *Proc) { p.Sleep(10 * time.Second) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3*time.Second {
+		t.Fatalf("timer fired at %v, want 3s", at)
+	}
+}
+
+func TestStoppedTimerNeitherFiresNorAdvancesClock(t *testing.T) {
+	k := New()
+	fired := false
+	timer := k.After(time.Hour, func() { fired = true })
+	k.Go("w", func(p *Proc) {
+		p.Sleep(time.Second)
+		timer.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	// The dead event must not drag virtual time to the hour mark — this
+	// is what keeps warm pools alive between requests.
+	if k.Now() != time.Second {
+		t.Fatalf("clock at %v, want 1s", k.Now())
+	}
+}
+
+func TestStopIsIdempotentAndSafeAfterExpiry(t *testing.T) {
+	k := New()
+	n := 0
+	timer := k.After(time.Second, func() { n++ })
+	k.Go("w", func(p *Proc) { p.Sleep(2 * time.Second) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	timer.Stop()
+	timer.Stop()
+	if n != 1 {
+		t.Fatalf("fired %d times", n)
+	}
+}
+
+func TestStaleSleepTimerDoesNotAdvanceClock(t *testing.T) {
+	// A WaitTimeout that is signalled leaves a stale timer event; once all
+	// real work finishes, the stale event must not push the clock out to
+	// its deadline.
+	k := New()
+	c := NewCond(k)
+	k.Go("w", func(p *Proc) {
+		if r := c.WaitTimeout(p, time.Hour); r != WakeSignal {
+			t.Errorf("reason = %v", r)
+		}
+	})
+	k.Go("s", func(p *Proc) {
+		p.Sleep(time.Second)
+		c.Broadcast()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != time.Second {
+		t.Fatalf("clock at %v, want 1s (stale timeout must not advance it)", k.Now())
+	}
+}

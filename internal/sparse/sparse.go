@@ -1,0 +1,289 @@
+// Package sparse provides the float32 sparse/dense linear algebra used by
+// the inference engine: CSR weight matrices, dense row-major activation
+// matrices (rows = neurons, columns = batch samples), and the
+// multiply-accumulate kernels for distributed MVP/MMP (paper §III-C).
+//
+// The kernels return exact operation counts so the simulator can charge
+// calibrated virtual compute time for the work actually performed — sparsity
+// in both weights and activations directly reduces the charged time, as it
+// does for the paper's SciPy workers.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet is one nonzero matrix entry in coordinate form.
+type Triplet struct {
+	Row, Col int32
+	Val      float32
+}
+
+// CSR is a compressed sparse row float32 matrix. Column indices within each
+// row are strictly increasing. Rows and Cols bound the index space; either
+// may exceed the populated range (workers hold row blocks with global column
+// indices).
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32 // len Rows+1
+	ColIdx     []int32 // len NNZ
+	Val        []float32
+}
+
+// NewCSR builds a CSR matrix from triplets. Duplicate (row, col) entries are
+// summed. The input slice is reordered in place.
+func NewCSR(rows, cols int, entries []Triplet) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: negative dimensions %dx%d", rows, cols)
+	}
+	for _, e := range entries {
+		if e.Row < 0 || int(e.Row) >= rows || e.Col < 0 || int(e.Col) >= cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Row != entries[j].Row {
+			return entries[i].Row < entries[j].Row
+		}
+		return entries[i].Col < entries[j].Col
+	})
+	m := &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int32, rows+1),
+	}
+	m.ColIdx = make([]int32, 0, len(entries))
+	m.Val = make([]float32, 0, len(entries))
+	for i := 0; i < len(entries); {
+		j := i
+		v := float32(0)
+		for j < len(entries) && entries[j].Row == entries[i].Row && entries[j].Col == entries[i].Col {
+			v += entries[j].Val
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, entries[i].Col)
+		m.Val = append(m.Val, v)
+		m.RowPtr[entries[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m, nil
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// RowNNZ returns the number of stored entries in row r.
+func (m *CSR) RowNNZ(r int) int { return int(m.RowPtr[r+1] - m.RowPtr[r]) }
+
+// Row returns the column indices and values of row r (shared slices; do not
+// modify).
+func (m *CSR) Row(r int) ([]int32, []float32) {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// Bytes returns the raw in-memory footprint of the matrix data
+// (values + column indices + row pointers).
+func (m *CSR) Bytes() int64 {
+	return int64(len(m.Val))*8 + int64(len(m.RowPtr))*4
+}
+
+// ColNNZ returns, for each column, the number of stored entries. Used by the
+// partitioner to weigh communication nets.
+func (m *CSR) ColNNZ() []int32 {
+	counts := make([]int32, m.Cols)
+	for _, c := range m.ColIdx {
+		counts[c]++
+	}
+	return counts
+}
+
+// SelectRows returns a new CSR containing only the given rows of m, in the
+// given order (the row block a worker owns). Column indices are preserved
+// (global).
+func (m *CSR) SelectRows(rows []int32) *CSR {
+	sub := &CSR{
+		Rows:   len(rows),
+		Cols:   m.Cols,
+		RowPtr: make([]int32, len(rows)+1),
+	}
+	nnz := 0
+	for _, r := range rows {
+		nnz += m.RowNNZ(int(r))
+	}
+	sub.ColIdx = make([]int32, 0, nnz)
+	sub.Val = make([]float32, 0, nnz)
+	for i, r := range rows {
+		cols, vals := m.Row(int(r))
+		sub.ColIdx = append(sub.ColIdx, cols...)
+		sub.Val = append(sub.Val, vals...)
+		sub.RowPtr[i+1] = sub.RowPtr[i] + int32(len(cols))
+	}
+	return sub
+}
+
+// Dense is a row-major dense float32 matrix. For activations, rows index
+// neurons and columns index batch samples.
+type Dense struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewDense returns a zeroed Rows x Cols dense matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns row r as a slice backed by the matrix.
+func (d *Dense) Row(r int) []float32 { return d.Data[r*d.Cols : (r+1)*d.Cols] }
+
+// At returns element (r, c).
+func (d *Dense) At(r, c int) float32 { return d.Data[r*d.Cols+c] }
+
+// Set assigns element (r, c).
+func (d *Dense) Set(r, c int, v float32) { d.Data[r*d.Cols+c] = v }
+
+// Bytes returns the raw in-memory footprint of the matrix data.
+func (d *Dense) Bytes() int64 { return int64(len(d.Data)) * 4 }
+
+// Zero clears the matrix in place.
+func (d *Dense) Zero() {
+	for i := range d.Data {
+		d.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := NewDense(d.Rows, d.Cols)
+	copy(c.Data, d.Data)
+	return c
+}
+
+// NonzeroRows returns the indices of rows with at least one nonzero value.
+func (d *Dense) NonzeroRows() []int32 {
+	var out []int32
+	for r := 0; r < d.Rows; r++ {
+		row := d.Row(r)
+		for _, v := range row {
+			if v != 0 {
+				out = append(out, int32(r))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RowIsZero reports whether row r is entirely zero.
+func (d *Dense) RowIsZero(r int) bool {
+	for _, v := range d.Row(r) {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NNZ returns the number of nonzero elements.
+func (d *Dense) NNZ() int64 {
+	var n int64
+	for _, v := range d.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RowLookup maps a global column index of a weight matrix to the
+// corresponding activation row vector, or nil if that row is zero/absent.
+// The distributed kernel skips absent rows, exploiting activation sparsity.
+type RowLookup func(col int32) []float32
+
+// MulGatherInto computes z += W · x, where x rows are fetched through
+// lookup, and z has W.Rows rows (local indexing). It returns the number of
+// multiply-add operations actually performed: absent (nil) activation rows
+// contribute nothing and cost nothing, matching sparse execution.
+func MulGatherInto(w *CSR, lookup RowLookup, z *Dense) int64 {
+	if z.Rows != w.Rows {
+		panic(fmt.Sprintf("sparse: z has %d rows, want %d", z.Rows, w.Rows))
+	}
+	var macs int64
+	for r := 0; r < w.Rows; r++ {
+		cols, vals := w.Row(r)
+		zrow := z.Row(r)
+		for i, c := range cols {
+			xrow := lookup(c)
+			if xrow == nil {
+				continue
+			}
+			v := vals[i]
+			for j, xv := range xrow {
+				zrow[j] += v * xv
+			}
+			macs += int64(len(xrow))
+		}
+	}
+	return macs
+}
+
+// Mul computes z = W · x for a full-width dense activation matrix
+// (x.Rows == W.Cols), the serial/baseline path. Zero activation rows are
+// skipped and not charged, as in sparse execution. Returns z and the
+// multiply-add count.
+func Mul(w *CSR, x *Dense) (*Dense, int64) {
+	if x.Rows != w.Cols {
+		panic(fmt.Sprintf("sparse: x has %d rows, want %d", x.Rows, w.Cols))
+	}
+	zero := make([]bool, x.Rows)
+	for r := 0; r < x.Rows; r++ {
+		zero[r] = x.RowIsZero(r)
+	}
+	z := NewDense(w.Rows, x.Cols)
+	var macs int64
+	for r := 0; r < w.Rows; r++ {
+		cols, vals := w.Row(r)
+		zrow := z.Row(r)
+		for i, c := range cols {
+			if zero[c] {
+				continue
+			}
+			v := vals[i]
+			xrow := x.Row(int(c))
+			for j, xv := range xrow {
+				zrow[j] += v * xv
+			}
+			macs += int64(x.Cols)
+		}
+	}
+	return z, macs
+}
+
+// ReLUBiasClamp applies x = min(clamp, max(0, x + bias)) elementwise in
+// place (the Graph Challenge activation: bias, ReLU, threshold at 32). A
+// clamp of 0 or below disables clamping. Returns the element-op count.
+func ReLUBiasClamp(d *Dense, bias, clamp float32) int64 {
+	for i, v := range d.Data {
+		v += bias
+		if v < 0 {
+			v = 0
+		} else if clamp > 0 && v > clamp {
+			v = clamp
+		}
+		d.Data[i] = v
+	}
+	return int64(len(d.Data))
+}
+
+// AccumulateRow adds src into row r of d.
+func (d *Dense) AccumulateRow(r int, src []float32) {
+	row := d.Row(r)
+	for i, v := range src {
+		row[i] += v
+	}
+}

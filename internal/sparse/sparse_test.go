@@ -1,0 +1,293 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCSRBasic(t *testing.T) {
+	m, err := NewCSR(3, 4, []Triplet{
+		{0, 1, 2.0}, {2, 3, 5.0}, {0, 0, 1.0}, {1, 2, -3.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 4 {
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+	cols, vals := m.Row(0)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 1 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("row 0 = %v %v", cols, vals)
+	}
+	if m.RowNNZ(1) != 1 || m.RowNNZ(2) != 1 {
+		t.Fatalf("row nnz = %d, %d", m.RowNNZ(1), m.RowNNZ(2))
+	}
+}
+
+func TestNewCSRSumsDuplicates(t *testing.T) {
+	m, err := NewCSR(2, 2, []Triplet{{0, 0, 1}, {0, 0, 2.5}, {1, 1, -1}, {1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want duplicates merged", m.NNZ())
+	}
+	if m.Val[0] != 3.5 {
+		t.Fatalf("summed value = %v", m.Val[0])
+	}
+}
+
+func TestNewCSRBoundsChecked(t *testing.T) {
+	if _, err := NewCSR(2, 2, []Triplet{{2, 0, 1}}); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := NewCSR(2, 2, []Triplet{{0, -1, 1}}); err == nil {
+		t.Error("negative col accepted")
+	}
+	if _, err := NewCSR(-1, 2, nil); err == nil {
+		t.Error("negative dims accepted")
+	}
+}
+
+func TestEmptyCSR(t *testing.T) {
+	m, err := NewCSR(3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 0 {
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+	x := NewDense(3, 2)
+	x.Set(0, 0, 1)
+	z, macs := Mul(m, x)
+	if macs != 0 || z.NNZ() != 0 {
+		t.Fatalf("empty matrix multiply: macs=%d nnz=%d", macs, z.NNZ())
+	}
+}
+
+func TestColNNZ(t *testing.T) {
+	m, _ := NewCSR(3, 3, []Triplet{{0, 0, 1}, {1, 0, 1}, {2, 2, 1}})
+	got := m.ColNNZ()
+	want := []int32{2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ColNNZ = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	m, _ := NewCSR(4, 4, []Triplet{
+		{0, 0, 1}, {1, 1, 2}, {2, 2, 3}, {3, 3, 4}, {3, 0, 5},
+	})
+	sub := m.SelectRows([]int32{3, 1})
+	if sub.Rows != 2 || sub.Cols != 4 {
+		t.Fatalf("dims = %dx%d", sub.Rows, sub.Cols)
+	}
+	cols, vals := sub.Row(0) // original row 3
+	if len(cols) != 2 || cols[0] != 0 || vals[0] != 5 || cols[1] != 3 || vals[1] != 4 {
+		t.Fatalf("row 0 = %v %v", cols, vals)
+	}
+	cols, vals = sub.Row(1) // original row 1
+	if len(cols) != 1 || cols[0] != 1 || vals[0] != 2 {
+		t.Fatalf("row 1 = %v %v", cols, vals)
+	}
+}
+
+// naiveMul is the reference dense implementation used by property tests.
+func naiveMul(w *CSR, x *Dense) *Dense {
+	z := NewDense(w.Rows, x.Cols)
+	for r := 0; r < w.Rows; r++ {
+		cols, vals := w.Row(r)
+		for i, c := range cols {
+			for j := 0; j < x.Cols; j++ {
+				z.Data[r*z.Cols+j] += vals[i] * x.At(int(c), j)
+			}
+		}
+	}
+	return z
+}
+
+func matricesClose(a, b *Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(float64(a.Data[i]-b.Data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func randomCase(rng *rand.Rand) (*CSR, *Dense) {
+	rows := 1 + rng.Intn(12)
+	cols := 1 + rng.Intn(12)
+	batch := 1 + rng.Intn(5)
+	var tr []Triplet
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < 0.3 {
+				tr = append(tr, Triplet{int32(r), int32(c), float32(rng.NormFloat64())})
+			}
+		}
+	}
+	w, _ := NewCSR(rows, cols, tr)
+	x := NewDense(cols, batch)
+	for i := range x.Data {
+		if rng.Float64() < 0.6 {
+			x.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	return w, x
+}
+
+func TestMulMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, x := randomCase(rng)
+		got, _ := Mul(w, x)
+		want := naiveMul(w, x)
+		return matricesClose(got, want, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulGatherMatchesMulProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, x := randomCase(rng)
+		want, wantMACs := Mul(w, x)
+		z := NewDense(w.Rows, x.Cols)
+		gotMACs := MulGatherInto(w, func(c int32) []float32 {
+			if x.RowIsZero(int(c)) {
+				return nil
+			}
+			return x.Row(int(c))
+		}, z)
+		return matricesClose(z, want, 1e-4) && gotMACs == wantMACs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulGatherAccumulates(t *testing.T) {
+	// Two gather passes over disjoint column subsets must equal one full
+	// multiply — this is exactly how the distributed engine accumulates
+	// local and received contributions (Algorithm 1 lines 8, 16-17).
+	rng := rand.New(rand.NewSource(42))
+	w, x := randomCase(rng)
+	want, _ := Mul(w, x)
+
+	z := NewDense(w.Rows, x.Cols)
+	half := int32(w.Cols / 2)
+	MulGatherInto(w, func(c int32) []float32 {
+		if c >= half || x.RowIsZero(int(c)) {
+			return nil
+		}
+		return x.Row(int(c))
+	}, z)
+	MulGatherInto(w, func(c int32) []float32 {
+		if c < half || x.RowIsZero(int(c)) {
+			return nil
+		}
+		return x.Row(int(c))
+	}, z)
+	if !matricesClose(z, want, 1e-4) {
+		t.Fatal("split gather != full multiply")
+	}
+}
+
+func TestMulSkipsZeroRowsInOpCount(t *testing.T) {
+	w, _ := NewCSR(1, 2, []Triplet{{0, 0, 1}, {0, 1, 1}})
+	x := NewDense(2, 8)
+	for j := 0; j < 8; j++ {
+		x.Set(0, j, 1) // row 0 nonzero, row 1 all zero
+	}
+	_, macs := Mul(w, x)
+	if macs != 8 {
+		t.Fatalf("macs = %d, want 8 (zero activation row skipped)", macs)
+	}
+}
+
+func TestReLUBiasClamp(t *testing.T) {
+	d := NewDense(1, 5)
+	copy(d.Data, []float32{-1, 0.2, 0.5, 40, 31.9})
+	ops := ReLUBiasClamp(d, -0.3, 32)
+	if ops != 5 {
+		t.Fatalf("ops = %d", ops)
+	}
+	want := []float32{0, 0, 0.2, 32, 31.6}
+	for i, w := range want {
+		if math.Abs(float64(d.Data[i]-w)) > 1e-5 {
+			t.Fatalf("data[%d] = %v, want %v", i, d.Data[i], w)
+		}
+	}
+}
+
+func TestReLUBiasClampNoClamp(t *testing.T) {
+	d := NewDense(1, 2)
+	copy(d.Data, []float32{50, -50})
+	ReLUBiasClamp(d, 0, 0)
+	if d.Data[0] != 50 || d.Data[1] != 0 {
+		t.Fatalf("data = %v", d.Data)
+	}
+}
+
+func TestNonzeroRowsAndRowIsZero(t *testing.T) {
+	d := NewDense(4, 3)
+	d.Set(1, 2, 5)
+	d.Set(3, 0, -1)
+	nz := d.NonzeroRows()
+	if len(nz) != 2 || nz[0] != 1 || nz[1] != 3 {
+		t.Fatalf("nonzero rows = %v", nz)
+	}
+	if !d.RowIsZero(0) || d.RowIsZero(1) {
+		t.Fatal("RowIsZero wrong")
+	}
+}
+
+func TestDenseCloneIndependent(t *testing.T) {
+	d := NewDense(2, 2)
+	d.Set(0, 0, 1)
+	c := d.Clone()
+	c.Set(0, 0, 9)
+	if d.At(0, 0) != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestAccumulateRow(t *testing.T) {
+	d := NewDense(2, 3)
+	d.AccumulateRow(1, []float32{1, 2, 3})
+	d.AccumulateRow(1, []float32{1, 1, 1})
+	row := d.Row(1)
+	if row[0] != 2 || row[1] != 3 || row[2] != 4 {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	m, _ := NewCSR(2, 2, []Triplet{{0, 0, 1}, {1, 1, 1}})
+	if m.Bytes() != 2*8+3*4 {
+		t.Fatalf("CSR bytes = %d", m.Bytes())
+	}
+	d := NewDense(3, 3)
+	if d.Bytes() != 36 {
+		t.Fatalf("dense bytes = %d", d.Bytes())
+	}
+}
+
+func TestZero(t *testing.T) {
+	d := NewDense(2, 2)
+	d.Set(1, 1, 7)
+	d.Zero()
+	if d.NNZ() != 0 {
+		t.Fatal("Zero left nonzeros")
+	}
+}

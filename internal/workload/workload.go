@@ -1,0 +1,118 @@
+// Package workload models the paper's sporadic inference workloads
+// (§VI-C): queries arriving at irregular intervals over a 24-hour period,
+// evenly spread over multiple model sizes, each carrying a batch of
+// buffered samples. It assembles the daily cost comparison of Fig. 4:
+// FSD-Inference (pay per query) versus Server-Always-On (two provisioned
+// c5.12xlarge, flat daily cost) versus Server-Job-Scoped (per-query
+// instance hours).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Query is one sporadic inference request.
+type Query struct {
+	// At is the arrival time within the day.
+	At time.Duration
+	// Neurons selects the model invoked.
+	Neurons int
+	// Samples is the buffered batch size.
+	Samples int
+}
+
+// Day generates a deterministic sporadic day of queries: totalSamples
+// split into batches of samplesPerQuery, spread evenly over the model
+// sizes, with seeded uniform-random arrival times.
+func Day(totalSamples int, sizes []int, samplesPerQuery int, seed int64) []Query {
+	if samplesPerQuery <= 0 || totalSamples <= 0 || len(sizes) == 0 {
+		return nil
+	}
+	n := totalSamples / samplesPerQuery
+	if n == 0 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	queries := make([]Query, n)
+	for i := range queries {
+		queries[i] = Query{
+			At:      time.Duration(rng.Float64() * float64(24*time.Hour)),
+			Neurons: sizes[i%len(sizes)],
+			Samples: samplesPerQuery,
+		}
+	}
+	sort.Slice(queries, func(i, j int) bool { return queries[i].At < queries[j].At })
+	return queries
+}
+
+// PlatformCosts holds the per-query costs measured (or projected) for each
+// platform, keyed by model size, plus the always-on fleet's flat daily
+// cost.
+type PlatformCosts struct {
+	// FSDPerQuery is the best FSD-Inference variant's cost per query.
+	FSDPerQuery map[int]float64
+	// JSPerQuery is the job-scoped server cost per query.
+	JSPerQuery map[int]float64
+	// AODaily is the flat daily cost of the always-on fleet
+	// (2 x c5.12xlarge x 24 h in the paper).
+	AODaily float64
+}
+
+// Row is one point of the Fig. 4 series.
+type Row struct {
+	SamplesPerDay int
+	FSD           float64
+	AlwaysOn      float64
+	JobScoped     float64
+}
+
+// DailyCosts evaluates the three platforms over a day of queries.
+func DailyCosts(queries []Query, pc PlatformCosts) (Row, error) {
+	var r Row
+	for _, q := range queries {
+		fsd, ok := pc.FSDPerQuery[q.Neurons]
+		if !ok {
+			return r, fmt.Errorf("workload: no FSD cost for N=%d", q.Neurons)
+		}
+		js, ok := pc.JSPerQuery[q.Neurons]
+		if !ok {
+			return r, fmt.Errorf("workload: no JS cost for N=%d", q.Neurons)
+		}
+		r.FSD += fsd
+		r.JobScoped += js
+		r.SamplesPerDay += q.Samples
+	}
+	r.AlwaysOn = pc.AODaily
+	return r, nil
+}
+
+// Series evaluates daily costs across query volumes (the Fig. 4 x-axis),
+// returning one row per volume.
+func Series(volumes []int, sizes []int, samplesPerQuery int, pc PlatformCosts, seed int64) ([]Row, error) {
+	rows := make([]Row, 0, len(volumes))
+	for _, v := range volumes {
+		day := Day(v, sizes, samplesPerQuery, seed)
+		r, err := DailyCosts(day, pc)
+		if err != nil {
+			return nil, err
+		}
+		r.SamplesPerDay = v
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Crossover returns the first volume at which FSD daily cost exceeds the
+// always-on flat cost, or -1 if it never does — the paper observes this
+// near 4M samples/day.
+func Crossover(rows []Row) int {
+	for _, r := range rows {
+		if r.FSD > r.AlwaysOn {
+			return r.SamplesPerDay
+		}
+	}
+	return -1
+}
