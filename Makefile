@@ -1,0 +1,20 @@
+# Tier-1 verification: formatting, static checks, build, tests.
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench . -benchtime 1x .

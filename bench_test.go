@@ -4,6 +4,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"fsdinference"
 	"fsdinference/internal/experiments"
@@ -140,6 +141,41 @@ func BenchmarkSimKernelEvents(b *testing.B) {
 		}
 		if err := k.Run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceReplay drives a small sporadic day through the serving
+// layer — admission, coalescing, replica dispatch and the shared-kernel
+// async engine path — so the serving hot path sits in the perf
+// trajectory alongside the engine and kernel benchmarks.
+func BenchmarkServiceReplay(b *testing.B) {
+	mSmall, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(128, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mLarge, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := fsdinference.WorkloadDay(40*8, []int{128, 256}, 8, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, err := fsdinference.NewService(fsdinference.NewEnv(),
+			fsdinference.WithEndpoint("small", mSmall),
+			fsdinference.WithEndpoint("large", mLarge),
+			fsdinference.WithCoalescing(64, 200*time.Millisecond),
+			fsdinference.WithReplicas(2),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := svc.Replay(trace, fsdinference.ReplayOptions{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			b.Fatalf("%d failed queries", rep.Failed)
 		}
 	}
 }

@@ -1,0 +1,100 @@
+// Command fsdserve replays a sporadic query trace (paper §VI-C) through a
+// multi-model FSD-Inference Service on the simulated cloud and prints the
+// measured serving report: latency percentiles, per-endpoint cost,
+// coalesced-batch statistics and cold-start counts.
+//
+// Usage:
+//
+//	fsdserve [-queries N] [-sizes 256,512] [-batch B] [-layers L]
+//	         [-workers P] [-channel serial|queue|object]
+//	         [-replicas R] [-coalesce-batch S] [-coalesce-delay D]
+//	         [-seed S] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fsdinference"
+)
+
+func main() {
+	queries := flag.Int("queries", 200, "queries over the simulated day")
+	sizesArg := flag.String("sizes", "256,512", "comma-separated model sizes (one endpoint each)")
+	batch := flag.Int("batch", 32, "buffered samples per query")
+	layers := flag.Int("layers", 12, "layer count per model")
+	workers := flag.Int("workers", 1, "FaaS worker parallelism per endpoint")
+	channel := flag.String("channel", "", "channel: serial, queue or object (default: serial, or queue when workers > 1)")
+	replicas := flag.Int("replicas", 2, "warm deployment replicas per endpoint")
+	coalesceBatch := flag.Int("coalesce-batch", 128, "max samples per coalesced engine run")
+	coalesceDelay := flag.Duration("coalesce-delay", 100*time.Millisecond, "max wait before a coalescing batch closes")
+	seed := flag.Int64("seed", 7, "trace and input seed")
+	verify := flag.Bool("verify", false, "check every output against reference inference")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fatal("bad size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		fatal("need at least one model size")
+	}
+
+	opts := []fsdinference.ServiceOption{
+		fsdinference.WithCoalescing(*coalesceBatch, *coalesceDelay),
+		fsdinference.WithReplicas(*replicas),
+	}
+	var epOpts []fsdinference.EndpointOption
+	if *workers > 1 {
+		epOpts = append(epOpts, fsdinference.WithWorkers(*workers))
+	}
+	switch *channel {
+	case "":
+	case "serial":
+		epOpts = append(epOpts, fsdinference.WithChannel(fsdinference.Serial))
+	case "queue":
+		epOpts = append(epOpts, fsdinference.WithChannel(fsdinference.Queue))
+	case "object":
+		epOpts = append(epOpts, fsdinference.WithChannel(fsdinference.Object))
+	default:
+		fatal("unknown channel %q", *channel)
+	}
+	for _, n := range sizes {
+		fmt.Printf("generating %d-neuron, %d-layer sparse DNN...\n", n, *layers)
+		m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(n, *layers, 1))
+		if err != nil {
+			fatal("%v", err)
+		}
+		opts = append(opts, fsdinference.WithEndpoint(fmt.Sprintf("n%d", n), m, epOpts...))
+	}
+
+	svc, err := fsdinference.NewService(fsdinference.NewEnv(), opts...)
+	if err != nil {
+		fatal("%v", err)
+	}
+	trace := fsdinference.WorkloadDay(*queries**batch, sizes, *batch, *seed)
+	fmt.Printf("replaying %d queries over one simulated day on endpoints %v...\n",
+		len(trace), svc.Endpoints())
+	rep, err := svc.Replay(trace, fsdinference.ReplayOptions{Seed: *seed, Verify: *verify})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println()
+	fmt.Print(rep)
+	if *verify {
+		fmt.Println("all outputs verified against reference inference")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fsdserve: "+format+"\n", args...)
+	os.Exit(1)
+}

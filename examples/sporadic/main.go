@@ -1,8 +1,14 @@
 // Sporadic workloads (paper §VI-C): compare the daily cost of serving an
 // irregular query stream on FSD-Inference versus keeping servers running.
 // Queries arrive at random times over 24 hours and each carries a buffered
-// batch of samples; FSD pays per query, the always-on fleet pays around the
-// clock.
+// batch of samples; FSD pays per query, the always-on fleet pays around
+// the clock.
+//
+// Unlike the paper's arithmetic (per-query cost x query count), the FSD
+// side here is measured: a multi-model Service replays the whole day in
+// one simulated-time run — with request coalescing, admission queueing
+// and metered cold starts — and reports real latency percentiles and the
+// real metered bill.
 package main
 
 import (
@@ -10,56 +16,71 @@ import (
 	"log"
 
 	"fsdinference"
-	"fsdinference/internal/workload"
 )
 
 func main() {
 	const batch = 32
 	sizes := []int{256, 512}
 
-	// Measure a per-query cost for each model size on the best simple
-	// variant (serial here: these models fit one instance).
-	fsdPer := map[int]float64{}
-	jsPer := map[int]float64{}
+	models := map[int]*fsdinference.Model{}
 	for _, n := range sizes {
 		m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(n, 12, 1))
 		if err != nil {
 			log.Fatal(err)
 		}
-		d, err := fsdinference.Deploy(fsdinference.NewEnv(), fsdinference.Config{
-			Model: m, Channel: fsdinference.Serial,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		input := fsdinference.GenerateInputs(n, batch, 0.2, 2)
-		res, err := d.Infer(input)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fsdPer[n] = res.Cost.Total()
+		models[n] = m
+	}
 
-		js, err := fsdinference.RunJobScoped(fsdinference.NewEnv(), m, input)
+	// Job-scoped per-query cost, measured once per size (that baseline
+	// provisions a fresh right-sized server per query by definition).
+	jsPer := map[int]float64{}
+	for _, n := range sizes {
+		js, err := fsdinference.RunJobScoped(fsdinference.NewEnv(),
+			models[n], fsdinference.GenerateInputs(n, batch, 0.2, 2))
 		if err != nil {
 			log.Fatal(err)
 		}
 		jsPer[n] = js.Cost.Total()
-		fmt.Printf("N=%-4d per-query: FSD $%.6f  job-scoped $%.4f\n", n, fsdPer[n], jsPer[n])
 	}
 
 	// Two always-on c5.12xlarge around the clock (paper §VI-C2).
 	aoDaily := 2.0 * 24 * 2.04
-	fmt.Printf("\n%12s  %12s  %12s  %12s\n", "queries/day", "FSD $", "always-on $", "job-scoped $")
-	volumes := []int{1, 10, 100, 1000, 10000, 50000}
+
+	fmt.Printf("%12s  %12s  %12s  %12s  %10s  %10s\n",
+		"queries/day", "FSD $ (meas)", "always-on $", "job-scoped $", "p50", "p99")
+	volumes := []int{10, 100, 1000}
+	var lastReport *fsdinference.ServiceReport
 	for _, q := range volumes {
-		day := workload.Day(q*batch, sizes, batch, 7)
-		row, err := workload.DailyCosts(day, workload.PlatformCosts{
-			FSDPerQuery: fsdPer, JSPerQuery: jsPer, AODaily: aoDaily,
-		})
+		day := fsdinference.WorkloadDay(q*batch, sizes, batch, 7)
+
+		// A fresh service per volume: one endpoint per model size, a
+		// small warm pool, coalescing for bursts.
+		svc, err := fsdinference.NewService(fsdinference.NewEnv(),
+			fsdinference.WithEndpoint("n256", models[256]),
+			fsdinference.WithEndpoint("n512", models[512]),
+			fsdinference.WithCoalescing(4*batch, 0),
+			fsdinference.WithReplicas(2),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%12d  %12.4f  %12.2f  %12.4f\n", q, row.FSD, row.AlwaysOn, row.JobScoped)
+		rep, err := svc.Replay(day, fsdinference.ReplayOptions{Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		jsDaily := 0.0
+		for _, qq := range day {
+			jsDaily += jsPer[qq.Neurons]
+		}
+		fmt.Printf("%12d  %12.4f  %12.2f  %12.4f  %10v  %10v\n",
+			len(day), rep.TotalCost.Total(), aoDaily, jsDaily,
+			rep.Latency.P50, rep.Latency.P99)
+		lastReport = rep
 	}
+
+	// Detail for the largest volume.
+	fmt.Println()
+	fmt.Print(lastReport)
 	fmt.Println("\nFSD scales to zero with the workload; the always-on fleet bills regardless (Fig. 4)")
 }

@@ -22,6 +22,8 @@
 package fsdinference
 
 import (
+	"time"
+
 	"fsdinference/internal/baselines"
 	"fsdinference/internal/cloud/env"
 	"fsdinference/internal/core"
@@ -29,7 +31,9 @@ import (
 	"fsdinference/internal/experiments"
 	"fsdinference/internal/model"
 	"fsdinference/internal/partition"
+	"fsdinference/internal/serve"
 	"fsdinference/internal/sparse"
+	"fsdinference/internal/workload"
 )
 
 // Model building blocks.
@@ -134,8 +138,125 @@ const (
 )
 
 // Deploy validates a configuration, stages the model and creates all
-// communication resources and functions.
+// communication resources and functions. Deploy/Infer is the one-shot
+// compatibility path: each Infer owns the kernel until its run drains.
+// Long-lived, concurrent serving goes through NewService.
 func Deploy(e *Env, cfg Config) (*Deployment, error) { return core.Deploy(e, cfg) }
+
+// The serving layer: a long-lived multi-model endpoint with asynchronous
+// Submit, per-endpoint admission queues, request coalescing into batched
+// engine runs (the upstream buffering the paper assumes in §V-B2), a
+// warm replica pool with metered cold starts, and trace replay that turns
+// the §VI-C daily-cost comparison from arithmetic into measurement:
+//
+//	svc, _ := fsdinference.NewService(env,
+//		fsdinference.WithEndpoint("small", mSmall),
+//		fsdinference.WithEndpoint("large", mLarge,
+//			fsdinference.WithChannel(fsdinference.Queue), fsdinference.WithWorkers(20)),
+//		fsdinference.WithCoalescing(64, 500*time.Millisecond),
+//	)
+//	h := svc.Submit("small", input, at) // many requests in flight at once
+//	resp, _ := h.Wait()                 // drives one shared simulated-time run
+//	report, _ := svc.Replay(fsdinference.WorkloadDay(100*32, sizes, 32, 7), fsdinference.ReplayOptions{})
+type (
+	// Service is a long-lived multi-model serving endpoint.
+	Service = serve.Service
+	// ServiceOption configures a Service.
+	ServiceOption = serve.Option
+	// EndpointOption configures one Service endpoint.
+	EndpointOption = serve.EndpointOption
+	// Handle is the pending result of one Submit.
+	Handle = serve.Handle
+	// Response is one request's resolved result.
+	Response = serve.Response
+	// ServiceReport is the measured outcome of a trace replay.
+	ServiceReport = serve.Report
+	// EndpointReport is one endpoint's share of a replay.
+	EndpointReport = serve.EndpointReport
+	// LatencyStats summarises a latency distribution (p50/p95/p99...).
+	LatencyStats = serve.LatencyStats
+	// ReplayOptions tunes a trace replay.
+	ReplayOptions = serve.ReplayOptions
+)
+
+// NewService builds a multi-model serving endpoint on the environment.
+func NewService(e *Env, opts ...ServiceOption) (*Service, error) { return serve.NewService(e, opts...) }
+
+// WithEndpoint registers a named model endpoint.
+func WithEndpoint(name string, m *Model, opts ...EndpointOption) ServiceOption {
+	return serve.WithEndpoint(name, m, opts...)
+}
+
+// WithCoalescing sets the service-wide request-coalescing policy: batches
+// close at maxBatch buffered samples or after maxDelay from the first
+// queued request.
+func WithCoalescing(maxBatch int, maxDelay time.Duration) ServiceOption {
+	return serve.WithCoalescing(maxBatch, maxDelay)
+}
+
+// WithReplicas sets the service-wide warm-pool size per endpoint.
+func WithReplicas(n int) ServiceOption { return serve.WithReplicas(n) }
+
+// WithChannel selects an endpoint's communication variant.
+func WithChannel(k ChannelKind) EndpointOption { return serve.WithChannel(k) }
+
+// WithWorkers sets an endpoint's FaaS worker parallelism (a partition
+// plan is built automatically).
+func WithWorkers(p int) EndpointOption { return serve.WithWorkers(p) }
+
+// WithScheme selects the partitioning scheme for auto-built plans.
+func WithScheme(s PartitionScheme) EndpointOption { return serve.WithScheme(s) }
+
+// WithPlan supplies a pre-built partition plan for an endpoint.
+func WithPlan(p *Plan) EndpointOption { return serve.WithPlan(p) }
+
+// WithEndpointCoalescing overrides the coalescing policy per endpoint.
+func WithEndpointCoalescing(maxBatch int, maxDelay time.Duration) EndpointOption {
+	return serve.WithEndpointCoalescing(maxBatch, maxDelay)
+}
+
+// WithEndpointReplicas overrides the warm-pool size per endpoint.
+func WithEndpointReplicas(n int) EndpointOption { return serve.WithEndpointReplicas(n) }
+
+// WithDeployOverride mutates an endpoint's deployment configuration after
+// defaults are applied (threads, polling, memory sizing).
+func WithDeployOverride(mutate func(*Config)) EndpointOption {
+	return serve.WithDeployOverride(mutate)
+}
+
+// Sporadic workload traces (paper §VI-C, Fig. 4).
+type (
+	// Query is one sporadic inference request in a trace.
+	Query = workload.Query
+	// PlatformCosts holds per-platform cost inputs for the Fig. 4
+	// comparison.
+	PlatformCosts = workload.PlatformCosts
+	// CostRow is one point of the Fig. 4 daily-cost series.
+	CostRow = workload.Row
+)
+
+// WorkloadDay generates a deterministic sporadic day of queries:
+// totalSamples split into batches of samplesPerQuery, spread evenly over
+// the model sizes, with seeded uniform-random arrival times.
+func WorkloadDay(totalSamples int, sizes []int, samplesPerQuery int, seed int64) []Query {
+	return workload.Day(totalSamples, sizes, samplesPerQuery, seed)
+}
+
+// DailyCosts evaluates the three platforms of Fig. 4 over a day of
+// queries.
+func DailyCosts(queries []Query, pc PlatformCosts) (CostRow, error) {
+	return workload.DailyCosts(queries, pc)
+}
+
+// CostSeries evaluates daily costs across query volumes (the Fig. 4
+// x-axis).
+func CostSeries(volumes []int, sizes []int, samplesPerQuery int, pc PlatformCosts, seed int64) ([]CostRow, error) {
+	return workload.Series(volumes, sizes, samplesPerQuery, pc, seed)
+}
+
+// CostCrossover returns the first volume at which FSD daily cost exceeds
+// the always-on flat cost, or -1 if it never does.
+func CostCrossover(rows []CostRow) int { return workload.Crossover(rows) }
 
 // Automatic configuration selection (the extension the paper names in
 // §VI-D1: runtime selection of the optimal configuration given latency and

@@ -1,0 +1,3 @@
+module fsdinference
+
+go 1.21

@@ -230,6 +230,17 @@ func (b *Bucket) Delete(p *sim.Proc, key string) {
 	b.Deletes++
 }
 
+// Stage writes an object host-side, free of charge and virtual time: no
+// billed request, no transfer delay, no rate-limit token. Deployments use
+// it for offline staging (a-priori model upload, buffered request inputs,
+// paper §V-B2), which the engine models as happening outside the metered
+// run. It must not be used for anything a function pays for.
+func (b *Bucket) Stage(key string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.objects[key] = cp
+}
+
 // Size returns the stored byte size of an object and whether it exists,
 // without billing a request (test/metrics helper).
 func (b *Bucket) Size(key string) (int, bool) {

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/model"
+	"fsdinference/internal/partition"
+)
+
+// The prepare/run split: multiple runs, on deployments sharing one
+// environment, progress inside a single Kernel.Run instead of each Infer
+// owning the kernel.
+
+func TestConcurrentStartsShareOneKernelRun(t *testing.T) {
+	e := env.NewDefault()
+	mSmall, err := model.Generate(model.GraphChallengeSpec(128, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLarge, err := model.Generate(model.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.BuildPlan(mLarge, 3, partition.HGPDNN, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSerial, err := Deploy(e, Config{Model: mSmall, Channel: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dQueue, err := Deploy(e, Config{Model: mLarge, Plan: plan, Channel: Queue, PollWait: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inSmall := model.GenerateInputs(128, 8, 0.2, 2)
+	inLarge := model.GenerateInputs(256, 8, 0.2, 3)
+	var rSerial, rQueue *Result
+	var eSerial, eQueue error
+	if _, err := dSerial.Start(inSmall, func(r *Result, err error) { rSerial, eSerial = r, err }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dQueue.Start(inLarge, func(r *Result, err error) { rQueue, eQueue = r, err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eSerial != nil || eQueue != nil {
+		t.Fatalf("run errors: serial=%v queue=%v", eSerial, eQueue)
+	}
+	if !model.OutputsClose(rSerial.Output, model.Reference(mSmall, inSmall), 1e-2) {
+		t.Fatal("serial output diverges from reference")
+	}
+	if !model.OutputsClose(rQueue.Output, model.Reference(mLarge, inLarge), 1e-2) {
+		t.Fatal("queue output diverges from reference")
+	}
+	// Overlap in virtual time: the serial run must finish before the
+	// distributed one, proving neither monopolised the kernel.
+	if rSerial.Latency >= rQueue.Latency {
+		t.Fatalf("serial latency %v should be below distributed %v", rSerial.Latency, rQueue.Latency)
+	}
+}
+
+// Reconstructed per-run usage (the asynchronous path's Usage/Cost) must
+// track the exact metered window when runs do not overlap.
+func TestAsyncUsageReconstructionMatchesMeter(t *testing.T) {
+	for _, kind := range []ChannelKind{Serial, Queue, Object} {
+		d, _, input := testSetup(t, 128, 6, 4, kind, nil)
+		snap := d.Env.Meter.Snapshot()
+		var res *Result
+		var runErr error
+		if _, err := d.Start(input, func(r *Result, err error) { res, runErr = r, err }); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Env.K.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		used := d.Env.Meter.Sub(snap)
+		metered := used.Cost(d.Env.Pricing)
+		rec := res.Cost
+		for _, pair := range [][2]float64{
+			{rec.Lambda, metered.Lambda},
+			{rec.SNS, metered.SNS},
+			{rec.SQS, metered.SQS},
+			{rec.S3, metered.S3},
+		} {
+			diff := pair[0] - pair[1]
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := pair[1]
+			if scale < 1e-12 {
+				if diff > 1e-12 {
+					t.Fatalf("%v: reconstructed %v vs metered %v", kind, pair[0], pair[1])
+				}
+				continue
+			}
+			if diff/scale > 0.02 {
+				t.Fatalf("%v: reconstructed %v vs metered %v (%.1f%% off)",
+					kind, pair[0], pair[1], 100*diff/scale)
+			}
+		}
+	}
+}

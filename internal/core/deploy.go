@@ -20,7 +20,10 @@ import (
 // Deployment is a deployed FSD-Inference application: pre-created
 // communication resources (topics, queues, buckets — free to keep, as the
 // paper notes), a staged model store, and registered functions. A
-// deployment serves any number of sequential inference requests.
+// deployment serves any number of sequential inference requests through
+// Infer, or asynchronous requests through Start, which lets many runs —
+// across deployments sharing one environment — progress inside a single
+// simulated-time Kernel.Run.
 type Deployment struct {
 	Env *env.Env
 	Cfg Config
@@ -35,7 +38,9 @@ type Deployment struct {
 	fnSerial      string
 
 	runSeq int
-	run    *runState
+	// runs holds every in-flight request keyed by run id; handlers look
+	// their run up by the id carried in the invocation payload.
+	runs map[string]*runState
 }
 
 // runState is the per-request bookkeeping shared (host-side) between the
@@ -73,6 +78,7 @@ func Deploy(e *env.Env, cfg Config) (*Deployment, error) {
 		fnWorker:      prefix + "-worker",
 		fnCoordinator: prefix + "-coordinator",
 		fnSerial:      prefix + "-serial",
+		runs:          make(map[string]*runState),
 	}
 	d.store = e.S3.CreateBucket(prefix + "-store")
 	if cfg.StoreBandwidthScale > 0 && cfg.StoreBandwidthScale != 1 {
@@ -132,19 +138,12 @@ func (d *Deployment) stageModel() {
 	}
 }
 
-// putStore writes a staging object host-side (offline, unbilled).
+// putStore writes a staging object host-side (offline, unbilled, no
+// virtual time). It is safe to call both between kernel runs and from
+// kernel context while a simulation is in flight, which lets request
+// inputs be staged for runs admitted mid-simulation.
 func (d *Deployment) putStore(key string, data []byte) {
-	// Use a throwaway proc so staging costs neither time nor requests.
-	snap := d.Env.Meter.Snapshot()
-	d.Env.K.Go("stage", func(p *sim.Proc) {
-		if err := d.store.Put(p, key, data); err != nil {
-			panic(fmt.Sprintf("core: staging %s: %v", key, err))
-		}
-	})
-	if err := d.Env.K.Run(); err != nil {
-		panic(fmt.Sprintf("core: staging %s: %v", key, err))
-	}
-	*d.Env.Meter = snap // roll back billing and counters
+	d.store.Stage(key, data)
 }
 
 func (d *Deployment) registerFunctions() error {
@@ -188,13 +187,28 @@ type workerPayload struct {
 	Leader bool `json:"leader"`
 }
 
-// Infer runs one inference request over the deployment and returns its
-// result. The input is an N x batch activation matrix. Requests run
-// sequentially on the deployment's environment; latencies and costs are
-// reported in virtual time and metered dollars.
-func (d *Deployment) Infer(input *sparse.Dense) (*Result, error) {
+// Start begins one asynchronous inference request and returns without
+// driving the simulation: it stages the input, registers the run and
+// spawns the client process on the shared kernel, so any number of runs —
+// on this deployment or on other deployments sharing the environment — can
+// be in flight inside a single Kernel.Run. done is invoked in simulation
+// context when the run completes (successfully or not); the returned run
+// id identifies the request in errors and result objects.
+//
+// A Result delivered through Start carries per-run Usage/Cost
+// reconstructed from the run's own worker-side ledgers via the paper's
+// cost model (Equations (1)-(7), the §VI-F predictor), because the shared
+// environment meter cannot attribute concurrently metered usage to one
+// run. The synchronous Infer path reports exact metered usage instead.
+//
+// Overlapping runs on the same deployment are only safe for the Serial
+// and Object channels (object keys are run-scoped); the Queue channel
+// shares per-worker queues across runs, so queue deployments must finish
+// one run before starting the next — the serving layer enforces this by
+// pooling replicas.
+func (d *Deployment) Start(input *sparse.Dense, done func(*Result, error)) (string, error) {
 	if input.Rows != d.Cfg.Model.Spec.Neurons {
-		return nil, fmt.Errorf("core: input has %d rows, model expects %d", input.Rows, d.Cfg.Model.Spec.Neurons)
+		return "", fmt.Errorf("core: input has %d rows, model expects %d", input.Rows, d.Cfg.Model.Spec.Neurons)
 	}
 	d.runSeq++
 	run := &runState{
@@ -202,55 +216,51 @@ func (d *Deployment) Infer(input *sparse.Dense) (*Result, error) {
 		batch: input.Cols,
 		input: input,
 	}
-	d.run = run
+	d.runs[run.id] = run
 	d.stageInput(run)
 
-	snap := d.Env.Meter.Snapshot()
-	var start, end time.Duration
-	var invokeErr error
-
 	d.Env.K.Go("client-"+run.id, func(p *sim.Proc) {
-		start = p.Now()
+		res, err := d.clientRun(p, run)
+		delete(d.runs, run.id)
+		done(res, err)
+	})
+	return run.id, nil
+}
+
+// clientRun is the client-side body of one request: invoke the serial
+// function or the coordinator, wait for the result and assemble the
+// Result with ledger-reconstructed usage.
+func (d *Deployment) clientRun(p *sim.Proc, run *runState) (*Result, error) {
+	start := p.Now()
+	wrap := func(err error) error { return fmt.Errorf("core: run %s: %w", run.id, err) }
+	wait := func() error {
 		if d.Cfg.Channel == Serial {
 			fut, err := d.Env.FaaS.Invoke(p, d.fnSerial, mustJSON(workerPayload{Run: run.id}))
 			if err != nil {
-				invokeErr = err
-				return
+				return err
 			}
-			if _, err := fut.Wait(p); err != nil {
-				invokeErr = err
-				return
-			}
-			end = p.Now()
-			return
+			_, err = fut.Wait(p)
+			return err
 		}
 		fut, err := d.Env.FaaS.Invoke(p, d.fnCoordinator, mustJSON(workerPayload{Run: run.id}))
 		if err != nil {
-			invokeErr = err
-			return
+			return err
 		}
 		if _, err := fut.Wait(p); err != nil {
-			invokeErr = err
-			return
+			return err
 		}
 		// The coordinator returns once the tree is seeded; the result
 		// is ready when the root worker finishes.
 		if run.rootFut == nil {
-			invokeErr = fmt.Errorf("core: coordinator did not seed the worker tree")
-			return
+			return fmt.Errorf("core: coordinator did not seed the worker tree")
 		}
-		if _, err := run.rootFut.Wait(p); err != nil {
-			invokeErr = err
-			return
-		}
-		end = p.Now()
-	})
-	if err := d.Env.K.Run(); err != nil {
-		return nil, fmt.Errorf("core: run %s: %w", run.id, err)
+		_, err = run.rootFut.Wait(p)
+		return err
 	}
-	if invokeErr != nil {
-		return nil, fmt.Errorf("core: run %s: %w", run.id, invokeErr)
+	if err := wait(); err != nil {
+		return nil, wrap(err)
 	}
+	end := p.Now()
 	if len(run.workerErrs) > 0 {
 		return nil, fmt.Errorf("core: run %s: worker error: %w", run.id, run.workerErrs[0])
 	}
@@ -258,7 +268,7 @@ func (d *Deployment) Infer(input *sparse.Dense) (*Result, error) {
 		return nil, fmt.Errorf("core: run %s produced no output", run.id)
 	}
 
-	used := d.Env.Meter.Sub(snap)
+	used := d.runUsage(run)
 	res := &Result{
 		RunID:              run.id,
 		Output:             run.output,
@@ -272,6 +282,32 @@ func (d *Deployment) Infer(input *sparse.Dense) (*Result, error) {
 	if run.lastStart > 0 {
 		res.LaunchComplete = run.lastStart - start
 	}
+	return res, nil
+}
+
+// Infer runs one inference request over the deployment and returns its
+// result. The input is an N x batch activation matrix. Requests run
+// sequentially on the deployment's environment; latencies and costs are
+// reported in virtual time and metered dollars. Infer is the synchronous
+// compatibility path over Start: it owns the kernel until the run drains,
+// and replaces the reconstructed usage with the exact metered window.
+func (d *Deployment) Infer(input *sparse.Dense) (*Result, error) {
+	snap := d.Env.Meter.Snapshot()
+	var res *Result
+	var runErr error
+	id, err := d.Start(input, func(r *Result, e error) { res, runErr = r, e })
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Env.K.Run(); err != nil {
+		return nil, fmt.Errorf("core: run %s: %w", id, err)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	used := d.Env.Meter.Sub(snap)
+	res.Usage = used
+	res.Cost = used.Cost(d.Env.Pricing)
 	return res, nil
 }
 
@@ -312,6 +348,10 @@ func (d *Deployment) coordinatorHandler(ctx *faas.Ctx, payload []byte) ([]byte, 
 	if err := json.Unmarshal(payload, &req); err != nil {
 		return nil, fmt.Errorf("core: coordinator payload: %w", err)
 	}
+	run := d.runs[req.Run]
+	if run == nil {
+		return nil, fmt.Errorf("core: coordinator invoked for unknown run %q", req.Run)
+	}
 	switch d.Cfg.Launch {
 	case Hierarchical:
 		fut, err := ctx.InvokeAsync(d.fnWorker, mustJSON(workerPayload{
@@ -320,7 +360,7 @@ func (d *Deployment) coordinatorHandler(ctx *faas.Ctx, payload []byte) ([]byte, 
 		if err != nil {
 			return nil, err
 		}
-		d.run.rootFut = fut
+		run.rootFut = fut
 	case Centralized:
 		for m := 0; m < d.Cfg.Workers(); m++ {
 			fut, err := ctx.InvokeAsync(d.fnWorker, mustJSON(workerPayload{
@@ -330,7 +370,7 @@ func (d *Deployment) coordinatorHandler(ctx *faas.Ctx, payload []byte) ([]byte, 
 				return nil, err
 			}
 			if m == 0 {
-				d.run.rootFut = fut
+				run.rootFut = fut
 			}
 		}
 	case TwoLevel:
@@ -343,11 +383,11 @@ func (d *Deployment) coordinatorHandler(ctx *faas.Ctx, payload []byte) ([]byte, 
 				return nil, err
 			}
 			if lead == 0 {
-				d.run.rootFut = fut
+				run.rootFut = fut
 			}
 		}
 	}
-	d.run.coordRuntime = ctx.Elapsed()
+	run.coordRuntime = ctx.Elapsed()
 	return []byte(`{"ok":true}`), nil
 }
 

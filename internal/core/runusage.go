@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fsdinference/internal/cloud/usage"
+)
+
+// runUsage reconstructs one run's resource consumption from the run's own
+// worker-side ledgers, following the same mapping the §VI-F cost-model
+// validation uses (Equations (1)-(7) evaluate these counts into dollars).
+// It exists because concurrent runs share a single environment meter:
+// windowed snapshots cannot attribute interleaved billing to one run, but
+// every billable event of a run is also counted in its workers' metrics,
+// so the per-run view can be rebuilt exactly for Lambda/SNS/SQS and for
+// the request-billed S3 calls. Transfer byte counters (S3BytesIn/Out) are
+// approximated from payload ledgers; they carry no cost.
+func (d *Deployment) runUsage(run *runState) usage.Meter {
+	u := *usage.NewMeter()
+	u.SQSBillFanout = d.Env.Meter.SQSBillFanout
+
+	// Compute side: one client invocation of the serial function or the
+	// coordinator, plus one invocation per worker instance.
+	u.LambdaInvocations = 1 + int64(len(run.metrics))
+	memMB := d.Cfg.WorkerMemoryMB
+	if d.Cfg.Channel == Serial {
+		u.LambdaInvocations = 1
+		memMB = d.Cfg.SerialMemoryMB
+	}
+	for _, w := range run.metrics {
+		u.LambdaGBSeconds += float64(memMB) / 1024 * w.Runtime().Seconds()
+	}
+	u.LambdaGBSeconds += float64(d.Cfg.CoordinatorMemoryMB) / 1024 * run.coordRuntime.Seconds()
+
+	// Communication side, per channel, from the worker ledgers.
+	for _, w := range run.metrics {
+		switch d.Cfg.Channel {
+		case Queue:
+			u.SNSPublishCalls += w.Publishes
+			u.SNSBilledPublishes += w.BilledPublishes
+			u.SNSMessages += w.MessagesSent
+			u.SNSDeliveredBytes += w.BytesSent + w.AttrBytes
+			u.SQSReceiveCalls += w.Polls
+			u.SQSDeleteCalls += w.Deletes
+			u.SQSSendCalls += w.MessagesSent
+			u.S3PutCalls += w.StorePuts
+			u.S3GetCalls += w.StoreGets
+		case Object:
+			u.S3PutCalls += w.Publishes + w.StorePuts
+			u.S3GetCalls += w.Fetches + w.StoreGets
+			u.S3ListCalls += w.Polls
+			u.S3BytesIn += w.BytesSent
+			u.S3BytesOut += w.BytesRecv
+		default:
+			u.S3PutCalls += w.StorePuts
+			u.S3GetCalls += w.StoreGets
+		}
+	}
+	return u
+}

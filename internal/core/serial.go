@@ -20,8 +20,8 @@ func (d *Deployment) serialHandler(ctx *faas.Ctx, payload []byte) ([]byte, error
 	if err := json.Unmarshal(payload, &req); err != nil {
 		return nil, fmt.Errorf("core: serial payload: %w", err)
 	}
-	run := d.run
-	if run == nil || run.id != req.Run {
+	run := d.runs[req.Run]
+	if run == nil {
 		return nil, fmt.Errorf("core: serial worker invoked for unknown run %q", req.Run)
 	}
 	p := ctx.P

@@ -78,8 +78,8 @@ func (d *Deployment) workerHandler(ctx *faas.Ctx, payload []byte) ([]byte, error
 	if err := json.Unmarshal(payload, &req); err != nil {
 		return nil, fmt.Errorf("core: worker payload: %w", err)
 	}
-	run := d.run
-	if run == nil || run.id != req.Run {
+	run := d.runs[req.Run]
+	if run == nil {
 		return nil, fmt.Errorf("core: worker invoked for unknown run %q", req.Run)
 	}
 

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"fsdinference/internal/model"
+	"fsdinference/internal/sparse"
+	"fsdinference/internal/workload"
+)
+
+// ReplayOptions tunes a trace replay.
+type ReplayOptions struct {
+	// Density is the generated inputs' nonzero fraction (default 0.2,
+	// the evaluation setting).
+	Density float64
+	// Seed drives deterministic per-query input generation (default 1).
+	Seed int64
+	// Route maps a query to an endpoint name. The default routes by
+	// model size: the first endpoint whose model has the query's neuron
+	// count.
+	Route func(q workload.Query) (string, bool)
+	// Verify checks every request's output against serial float64
+	// reference inference; a mismatch fails the replay.
+	Verify bool
+}
+
+// Replay drives a workload query trace through the service inside one
+// simulated-time run and measures what the paper's Fig. 4 comparison
+// otherwise extrapolates: real per-query latency under coalescing and
+// cold starts, and real metered daily cost. Queries are admitted at their
+// trace arrival times (relative to the current virtual time), inputs are
+// generated deterministically per query, and the report aggregates the
+// resolved handles plus the endpoints' run ledgers.
+func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, error) {
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("serve: empty trace")
+	}
+	if opts.Density == 0 {
+		opts.Density = 0.2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	route := opts.Route
+	if route == nil {
+		route = func(q workload.Query) (string, bool) {
+			ep, ok := s.byNeurons[q.Neurons]
+			if !ok {
+				return "", false
+			}
+			return ep.name, true
+		}
+	}
+
+	// Drain any requests already in flight first, so the metered window
+	// below measures this trace and nothing else.
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+
+	base := s.Now()
+	meterSnap := s.env.Meter.Snapshot()
+	cold0, warm0 := s.env.FaaS.ColdStarts, s.env.FaaS.WarmStarts
+	statSnaps := make([]endpointStats, len(s.eps))
+	for i, ep := range s.eps {
+		statSnaps[i] = ep.stats
+		// MaxSamples is a high-water mark, not a counter: restart it so
+		// the report's MaxRunSamples describes this replay's window.
+		ep.stats.MaxSamples = 0
+	}
+
+	handles := make([]*Handle, len(trace))
+	eps := make([]*Endpoint, len(trace))
+	inputs := make([]*sparse.Dense, len(trace))
+	for i, q := range trace {
+		name, ok := route(q)
+		if !ok {
+			return nil, fmt.Errorf("serve: no endpoint for query %d (N=%d)", i, q.Neurons)
+		}
+		ep := s.byName[name]
+		if ep == nil {
+			return nil, fmt.Errorf("serve: route returned unknown endpoint %q", name)
+		}
+		inputs[i] = model.GenerateInputs(q.Neurons, q.Samples, opts.Density, opts.Seed+int64(i))
+		eps[i] = ep
+		handles[i] = s.Submit(name, inputs[i], base+q.At)
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{}
+	var all []time.Duration
+	perEp := make(map[*Endpoint][]time.Duration, len(s.eps))
+	epQueries := make(map[*Endpoint]int, len(s.eps))
+	epFailed := make(map[*Endpoint]int, len(s.eps))
+	epSamples := make(map[*Endpoint]int, len(s.eps))
+	for i, h := range handles {
+		ep := eps[i]
+		epQueries[ep]++
+		rep.Queries++
+		if !h.done {
+			return nil, fmt.Errorf("serve: query %d did not resolve", i)
+		}
+		if h.err != nil {
+			rep.Failed++
+			epFailed[ep]++
+			continue
+		}
+		resp := h.resp
+		rep.Samples += resp.Output.Cols
+		epSamples[ep] += resp.Output.Cols
+		all = append(all, resp.Latency)
+		perEp[ep] = append(perEp[ep], resp.Latency)
+		if h.finished-base > rep.Horizon {
+			rep.Horizon = h.finished - base
+		}
+		if opts.Verify {
+			want := model.Reference(ep.m, inputs[i])
+			if !model.OutputsClose(resp.Output, want, 1e-2) {
+				return nil, fmt.Errorf("serve: query %d output diverges from reference", i)
+			}
+		}
+	}
+	rep.Latency = latencyStats(all)
+	for i, ep := range s.eps {
+		st := ep.stats.sub(statSnaps[i])
+		er := EndpointReport{
+			Name:          ep.name,
+			Neurons:       ep.m.Spec.Neurons,
+			Channel:       ep.cfg.Channel,
+			Workers:       ep.cfg.Workers(),
+			Replicas:      len(ep.replicas),
+			Queries:       epQueries[ep],
+			Failed:        epFailed[ep],
+			Samples:       epSamples[ep],
+			Runs:          st.Runs,
+			FailedRuns:    st.FailedRuns,
+			MaxRunSamples: st.MaxSamples,
+			ColdStarts:    st.ColdStarts,
+			WarmStarts:    st.WarmStarts,
+			Latency:       latencyStats(perEp[ep]),
+			Cost:          st.Cost,
+		}
+		if st.Runs > 0 {
+			er.AvgRunSamples = float64(st.RunSamples) / float64(st.Runs)
+			er.AvgRunRequests = float64(st.RunRequests) / float64(st.Runs)
+		}
+		rep.Endpoints = append(rep.Endpoints, er)
+	}
+	used := s.env.Meter.Sub(meterSnap)
+	rep.TotalCost = used.Cost(s.env.Pricing)
+	rep.ColdStarts = s.env.FaaS.ColdStarts - cold0
+	rep.WarmStarts = s.env.FaaS.WarmStarts - warm0
+	return rep, nil
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fsdinference/internal/cloud/usage"
+	"fsdinference/internal/core"
+)
+
+// LatencyStats summarises a latency distribution with the nearest-rank
+// percentiles the serving literature reports.
+type LatencyStats struct {
+	Count               int
+	Mean, P50, P95, P99 time.Duration
+	Min, Max            time.Duration
+}
+
+// latencyStats computes stats over samples (mutates the slice order).
+func latencyStats(samples []time.Duration) LatencyStats {
+	var ls LatencyStats
+	ls.Count = len(samples)
+	if ls.Count == 0 {
+		return ls
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	ls.Mean = sum / time.Duration(ls.Count)
+	ls.Min = samples[0]
+	ls.Max = samples[ls.Count-1]
+	ls.P50 = percentile(samples, 50)
+	ls.P95 = percentile(samples, 95)
+	ls.P99 = percentile(samples, 99)
+	return ls
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted samples.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// EndpointReport is one endpoint's share of a replay.
+type EndpointReport struct {
+	Name    string
+	Neurons int
+	Channel core.ChannelKind
+	Workers int
+	// Replicas is the endpoint's warm-pool size.
+	Replicas int
+
+	// Queries and Failed count requests; Samples counts their columns.
+	Queries int
+	Failed  int
+	Samples int
+
+	// Runs counts engine runs; the averages describe how admission
+	// coalesced requests into them.
+	Runs           int
+	FailedRuns     int
+	AvgRunSamples  float64
+	AvgRunRequests float64
+	MaxRunSamples  int
+	ColdStarts     int // function instances launched cold
+	WarmStarts     int // function instances reusing a warm pool
+
+	// Latency is the per-request distribution (arrival to result,
+	// including coalescing wait and queueing).
+	Latency LatencyStats
+
+	// Cost is the endpoint's ledger-reconstructed spend (§VI-F
+	// predictor), summed over its runs.
+	Cost usage.Breakdown
+}
+
+// Report is the measured outcome of one Service.Replay.
+type Report struct {
+	// Queries and Failed count the replayed requests; Samples their
+	// total columns.
+	Queries int
+	Failed  int
+	Samples int
+
+	// Horizon is the virtual time of the last request completion,
+	// relative to the replay's start.
+	Horizon time.Duration
+
+	// Latency is the per-request distribution across all endpoints.
+	Latency LatencyStats
+
+	// Endpoints reports each endpoint in registration order.
+	Endpoints []EndpointReport
+
+	// TotalCost is the exact metered spend over the replay window — the
+	// simulated equivalent of the paper's AWS Cost & Usage report.
+	TotalCost usage.Breakdown
+
+	// ColdStarts and WarmStarts count platform-wide function instance
+	// launches during the replay.
+	ColdStarts int
+	WarmStarts int
+}
+
+// String renders the report as a deterministic fixed-order text table, so
+// identical traces and seeds produce byte-identical reports.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "serving report: %d queries (%d samples), %d failed, horizon %v\n",
+		r.Queries, r.Samples, r.Failed, r.Horizon)
+	fmt.Fprintf(&sb, "latency: %s\n", fmtLatency(r.Latency))
+	for _, ep := range r.Endpoints {
+		fmt.Fprintf(&sb, "endpoint %s (N=%d, %v", ep.Name, ep.Neurons, ep.Channel)
+		if ep.Workers > 1 {
+			fmt.Fprintf(&sb, " x%d", ep.Workers)
+		}
+		fmt.Fprintf(&sb, ", %d replica(s)):\n", ep.Replicas)
+		fmt.Fprintf(&sb, "  %d queries (%d samples), %d failed, %d run(s)",
+			ep.Queries, ep.Samples, ep.Failed, ep.Runs)
+		if ep.Runs > 0 {
+			fmt.Fprintf(&sb, ", avg batch %.2f req / %.1f samples, max %d samples",
+				ep.AvgRunRequests, ep.AvgRunSamples, ep.MaxRunSamples)
+		}
+		fmt.Fprintf(&sb, "\n  starts: %d cold / %d warm\n", ep.ColdStarts, ep.WarmStarts)
+		fmt.Fprintf(&sb, "  latency: %s\n", fmtLatency(ep.Latency))
+		fmt.Fprintf(&sb, "  cost (ledger): %s\n", ep.Cost.String())
+	}
+	fmt.Fprintf(&sb, "total metered cost: %s\n", r.TotalCost.String())
+	fmt.Fprintf(&sb, "instance starts: %d cold / %d warm\n", r.ColdStarts, r.WarmStarts)
+	return sb.String()
+}
+
+func fmtLatency(ls LatencyStats) string {
+	if ls.Count == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("p50=%v p95=%v p99=%v mean=%v max=%v",
+		ls.P50.Round(time.Millisecond), ls.P95.Round(time.Millisecond),
+		ls.P99.Round(time.Millisecond), ls.Mean.Round(time.Millisecond),
+		ls.Max.Round(time.Millisecond))
+}

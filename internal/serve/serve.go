@@ -1,0 +1,603 @@
+// Package serve implements the FSD-Inference serving layer: a long-lived,
+// multi-model Service endpoint over the simulated cloud. Where core.Infer
+// is one-shot — one request owning the whole kernel run — a Service
+// accepts asynchronous Submits and keeps many requests in flight inside a
+// single simulated-time run, realising the upstream buffering the paper
+// assumes for its sporadic workloads (§V-B2, §VI-C).
+//
+// Each named endpoint owns one model and a warm pool of deployment
+// replicas. Requests pass through a per-endpoint admission queue where
+// they are coalesced into batches — requests arriving within the
+// coalescing window (or queued behind busy replicas) ride the same engine
+// run, amortising launch and communication cost — then dispatch to a free
+// replica. Cold and warm starts are metered by the FaaS platform exactly
+// as for one-shot runs, so a sporadic day pays realistic cold-start
+// latency while a bursty hour reuses warm instances.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/cloud/usage"
+	"fsdinference/internal/core"
+	"fsdinference/internal/model"
+	"fsdinference/internal/partition"
+	"fsdinference/internal/sim"
+	"fsdinference/internal/sparse"
+)
+
+// coalescePolicy bounds one endpoint's request coalescing: a batch closes
+// when it holds maxBatch samples or when maxDelay has elapsed since its
+// first request, whichever comes first. Requests are never split across
+// engine runs, so a single request larger than maxBatch rides alone in an
+// oversized run.
+type coalescePolicy struct {
+	maxBatch int
+	maxDelay time.Duration
+}
+
+// endpointConfig accumulates per-endpoint options before deployment.
+type endpointConfig struct {
+	name     string
+	m        *model.Model
+	channel  core.ChannelKind
+	chanSet  bool
+	workers  int
+	scheme   partition.Scheme
+	seed     int64
+	plan     *partition.Plan
+	policy   *coalescePolicy
+	replicas int
+	mutate   func(*core.Config)
+}
+
+// serviceConfig accumulates Service options.
+type serviceConfig struct {
+	policy   coalescePolicy
+	replicas int
+	eps      []*endpointConfig
+	err      error
+}
+
+// Option configures a Service.
+type Option func(*serviceConfig)
+
+// EndpointOption configures one endpoint.
+type EndpointOption func(*endpointConfig)
+
+// WithCoalescing sets the service-wide default coalescing policy: batches
+// close at maxBatch buffered samples or after maxDelay from the first
+// queued request. maxBatch <= 0 leaves batch size unbounded; maxDelay 0
+// coalesces only requests arriving at the same instant.
+func WithCoalescing(maxBatch int, maxDelay time.Duration) Option {
+	return func(c *serviceConfig) { c.policy = coalescePolicy{maxBatch, maxDelay} }
+}
+
+// WithReplicas sets the service-wide default warm-pool size: how many
+// deployment replicas each endpoint keeps, bounding its run concurrency.
+func WithReplicas(n int) Option {
+	return func(c *serviceConfig) { c.replicas = n }
+}
+
+// WithEndpoint registers a named model endpoint.
+func WithEndpoint(name string, m *model.Model, opts ...EndpointOption) Option {
+	return func(c *serviceConfig) {
+		ec := &endpointConfig{name: name, m: m, scheme: partition.HGPDNN, seed: 1}
+		for _, o := range opts {
+			o(ec)
+		}
+		c.eps = append(c.eps, ec)
+	}
+}
+
+// WithChannel selects the endpoint's communication variant (default:
+// Serial for single-worker endpoints, Queue otherwise).
+func WithChannel(k core.ChannelKind) EndpointOption {
+	return func(ec *endpointConfig) { ec.channel = k; ec.chanSet = true }
+}
+
+// WithWorkers sets the endpoint's FaaS worker parallelism; a partition
+// plan is built automatically when none is supplied.
+func WithWorkers(p int) EndpointOption {
+	return func(ec *endpointConfig) { ec.workers = p }
+}
+
+// WithScheme selects the partitioning scheme for auto-built plans
+// (default HGPDNN).
+func WithScheme(s partition.Scheme) EndpointOption {
+	return func(ec *endpointConfig) { ec.scheme = s }
+}
+
+// WithPlan supplies a pre-built partition plan, overriding WithWorkers
+// and WithScheme.
+func WithPlan(p *partition.Plan) EndpointOption {
+	return func(ec *endpointConfig) { ec.plan = p }
+}
+
+// WithEndpointCoalescing overrides the service-wide coalescing policy for
+// this endpoint.
+func WithEndpointCoalescing(maxBatch int, maxDelay time.Duration) EndpointOption {
+	return func(ec *endpointConfig) { ec.policy = &coalescePolicy{maxBatch, maxDelay} }
+}
+
+// WithEndpointReplicas overrides the service-wide warm-pool size for this
+// endpoint.
+func WithEndpointReplicas(n int) EndpointOption {
+	return func(ec *endpointConfig) { ec.replicas = n }
+}
+
+// WithDeployOverride mutates the endpoint's deployment configuration
+// after defaults are applied (tuning knob for threads, polling, memory).
+func WithDeployOverride(mutate func(*core.Config)) EndpointOption {
+	return func(ec *endpointConfig) { ec.mutate = mutate }
+}
+
+// Service is a long-lived multi-model serving endpoint. All endpoints
+// share one simulated environment (and its kernel), so overlapping
+// requests to different endpoints — and queued requests to the same
+// endpoint — progress concurrently in virtual time.
+type Service struct {
+	env       *env.Env
+	eps       []*Endpoint
+	byName    map[string]*Endpoint
+	byNeurons map[int]*Endpoint
+}
+
+// Endpoint is one named model behind the Service.
+type Endpoint struct {
+	svc      *Service
+	name     string
+	m        *model.Model
+	cfg      core.Config
+	policy   coalescePolicy
+	replicas []*replica
+	free     []*replica // LIFO: most recently freed first, to prefer warm pools
+
+	window        []*request // open coalescing batch
+	windowSamples int
+	windowTimer   *sim.Timer
+	backlog       []*batch
+
+	stats endpointStats
+}
+
+// replica is one deployment in an endpoint's warm pool. A replica serves
+// one engine run at a time (the Queue channel shares per-worker queues
+// across runs of a deployment, so runs on one replica never overlap).
+type replica struct {
+	d *core.Deployment
+}
+
+type request struct {
+	h       *Handle
+	input   *sparse.Dense
+	arrived time.Duration
+}
+
+type batch struct {
+	reqs    []*request
+	samples int
+}
+
+// endpointStats counts run-level activity. Request-level metrics live on
+// the handles. Snapshot/sub pairs isolate one replay's window.
+type endpointStats struct {
+	Runs        int
+	FailedRuns  int
+	RunSamples  int
+	RunRequests int
+	MaxSamples  int
+	ColdStarts  int
+	WarmStarts  int
+	Cost        usage.Breakdown
+}
+
+func (s endpointStats) sub(prev endpointStats) endpointStats {
+	s.Runs -= prev.Runs
+	s.FailedRuns -= prev.FailedRuns
+	s.RunSamples -= prev.RunSamples
+	s.RunRequests -= prev.RunRequests
+	s.ColdStarts -= prev.ColdStarts
+	s.WarmStarts -= prev.WarmStarts
+	s.Cost.Lambda -= prev.Cost.Lambda
+	s.Cost.SNS -= prev.Cost.SNS
+	s.Cost.SQS -= prev.Cost.SQS
+	s.Cost.S3 -= prev.Cost.S3
+	s.Cost.EC2 -= prev.Cost.EC2
+	return s
+}
+
+// NewService validates the options, builds partition plans and deploys
+// every endpoint's replica pool onto the shared environment.
+func NewService(e *env.Env, opts ...Option) (*Service, error) {
+	cfg := &serviceConfig{
+		policy:   coalescePolicy{maxBatch: 512},
+		replicas: 1,
+	}
+	for _, o := range opts {
+		o(cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	if len(cfg.eps) == 0 {
+		return nil, fmt.Errorf("serve: a service needs at least one endpoint")
+	}
+	if cfg.replicas <= 0 {
+		return nil, fmt.Errorf("serve: replicas must be positive, got %d", cfg.replicas)
+	}
+	s := &Service{
+		env:       e,
+		byName:    make(map[string]*Endpoint),
+		byNeurons: make(map[int]*Endpoint),
+	}
+	for _, ec := range cfg.eps {
+		ep, err := s.buildEndpoint(ec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.eps = append(s.eps, ep)
+		s.byName[ep.name] = ep
+		if _, ok := s.byNeurons[ep.m.Spec.Neurons]; !ok {
+			s.byNeurons[ep.m.Spec.Neurons] = ep
+		}
+	}
+	return s, nil
+}
+
+func (s *Service) buildEndpoint(ec *endpointConfig, cfg *serviceConfig) (*Endpoint, error) {
+	if ec.name == "" {
+		return nil, fmt.Errorf("serve: endpoint name required")
+	}
+	if _, dup := s.byName[ec.name]; dup {
+		return nil, fmt.Errorf("serve: duplicate endpoint %q", ec.name)
+	}
+	if ec.m == nil {
+		return nil, fmt.Errorf("serve: endpoint %q has no model", ec.name)
+	}
+	workers := ec.workers
+	if ec.plan != nil {
+		workers = ec.plan.Workers
+	}
+	channel := ec.channel
+	if !ec.chanSet {
+		channel = core.Serial
+		if workers > 1 {
+			channel = core.Queue
+		}
+	}
+	if channel != core.Serial && workers <= 1 {
+		return nil, fmt.Errorf("serve: endpoint %q: %v needs at least 2 workers", ec.name, channel)
+	}
+	plan := ec.plan
+	if channel != core.Serial && plan == nil {
+		var err error
+		plan, err = partition.BuildPlan(ec.m, workers, ec.scheme, partition.Options{Seed: ec.seed})
+		if err != nil {
+			return nil, fmt.Errorf("serve: endpoint %q: %w", ec.name, err)
+		}
+	}
+	dcfg := core.Config{
+		Model:    ec.m,
+		Plan:     plan,
+		Channel:  channel,
+		PollWait: 2 * time.Second,
+	}
+	if ec.mutate != nil {
+		ec.mutate(&dcfg)
+	}
+	policy := cfg.policy
+	if ec.policy != nil {
+		policy = *ec.policy
+	}
+	if policy.maxBatch < 0 || policy.maxDelay < 0 {
+		return nil, fmt.Errorf("serve: endpoint %q: negative coalescing policy", ec.name)
+	}
+	replicas := cfg.replicas
+	if ec.replicas != 0 {
+		replicas = ec.replicas
+	}
+	if replicas <= 0 {
+		return nil, fmt.Errorf("serve: endpoint %q: replicas must be positive, got %d", ec.name, ec.replicas)
+	}
+	ep := &Endpoint{svc: s, name: ec.name, m: ec.m, policy: policy}
+	for i := 0; i < replicas; i++ {
+		d, err := core.Deploy(s.env, dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: endpoint %q replica %d: %w", ec.name, i, err)
+		}
+		ep.cfg = d.Cfg // defaults applied
+		rep := &replica{d: d}
+		ep.replicas = append(ep.replicas, rep)
+		ep.free = append(ep.free, rep)
+	}
+	return ep, nil
+}
+
+// Env returns the shared simulated environment.
+func (s *Service) Env() *env.Env { return s.env }
+
+// Endpoints returns the registered endpoint names in registration order.
+func (s *Service) Endpoints() []string {
+	names := make([]string, len(s.eps))
+	for i, ep := range s.eps {
+		names[i] = ep.name
+	}
+	return names
+}
+
+// Now returns the current virtual time of the shared kernel.
+func (s *Service) Now() time.Duration { return s.env.K.Now() }
+
+// Submit enqueues one asynchronous request: input arrives at the named
+// endpoint at virtual time at (clamped to now if already past). The
+// returned handle resolves once the simulation has been driven past the
+// request's completion — via Run, Replay, or the handle's own Wait.
+func (s *Service) Submit(name string, input *sparse.Dense, at time.Duration) *Handle {
+	h := &Handle{svc: s, endpoint: name}
+	ep := s.byName[name]
+	if ep == nil {
+		h.fail(s.Now(), fmt.Errorf("serve: unknown endpoint %q", name))
+		return h
+	}
+	if input == nil || input.Cols == 0 {
+		h.fail(s.Now(), fmt.Errorf("serve: endpoint %q: empty input", name))
+		return h
+	}
+	if input.Rows != ep.m.Spec.Neurons {
+		h.fail(s.Now(), fmt.Errorf("serve: endpoint %q: input has %d rows, model expects %d",
+			name, input.Rows, ep.m.Spec.Neurons))
+		return h
+	}
+	delay := at - s.Now()
+	s.env.K.At(delay, func() {
+		ep.admit(&request{h: h, input: input, arrived: s.Now()})
+	})
+	return h
+}
+
+// Run drives the shared simulation until every submitted request has
+// drained. It may be called repeatedly; submissions made after a Run are
+// served by the next one.
+func (s *Service) Run() error {
+	if err := s.env.K.Run(); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// admit adds a request to the endpoint's open coalescing batch, arming
+// the flush trigger on the first request and force-flushing when the
+// batch reaches the sample bound.
+func (ep *Endpoint) admit(r *request) {
+	ep.window = append(ep.window, r)
+	ep.windowSamples += r.input.Cols
+	if ep.policy.maxBatch > 0 && ep.windowSamples >= ep.policy.maxBatch {
+		ep.flush()
+		return
+	}
+	if len(ep.window) == 1 {
+		if ep.policy.maxDelay > 0 {
+			ep.windowTimer = ep.svc.env.K.After(ep.policy.maxDelay, ep.flush)
+		} else {
+			// Zero-delay coalescing still merges everything arriving at
+			// this same virtual instant: the flush event is scheduled
+			// behind all already-queued admissions.
+			ep.svc.env.K.At(0, ep.flush)
+		}
+	}
+}
+
+// flush closes the open coalescing batch, splits it into engine-run
+// batches of at most maxBatch samples (splitting only between requests:
+// an oversized request forms its own larger batch) and dispatches to
+// free replicas.
+func (ep *Endpoint) flush() {
+	if len(ep.window) == 0 {
+		return
+	}
+	if ep.windowTimer != nil {
+		ep.windowTimer.Stop()
+		ep.windowTimer = nil
+	}
+	var cur *batch
+	for _, r := range ep.window {
+		if cur != nil && ep.policy.maxBatch > 0 && cur.samples+r.input.Cols > ep.policy.maxBatch {
+			ep.backlog = append(ep.backlog, cur)
+			cur = nil
+		}
+		if cur == nil {
+			cur = &batch{}
+		}
+		cur.reqs = append(cur.reqs, r)
+		cur.samples += r.input.Cols
+	}
+	if cur != nil {
+		ep.backlog = append(ep.backlog, cur)
+	}
+	ep.window = nil
+	ep.windowSamples = 0
+	ep.dispatch()
+}
+
+// dispatch starts backlogged batches on free replicas, most recently
+// freed first so warm instance pools are reused before cold ones.
+func (ep *Endpoint) dispatch() {
+	for len(ep.backlog) > 0 && len(ep.free) > 0 {
+		b := ep.backlog[0]
+		ep.backlog = ep.backlog[1:]
+		rep := ep.free[len(ep.free)-1]
+		ep.free = ep.free[:len(ep.free)-1]
+		ep.startRun(rep, b)
+	}
+}
+
+// startRun merges the batch's inputs and begins one engine run on the
+// replica; completion redistributes results to the batch's handles.
+func (ep *Endpoint) startRun(rep *replica, b *batch) {
+	input := mergeInputs(ep.m.Spec.Neurons, b)
+	_, err := rep.d.Start(input, func(res *core.Result, err error) {
+		ep.finishRun(rep, b, res, err)
+	})
+	if err != nil {
+		ep.free = append(ep.free, rep)
+		now := ep.svc.Now()
+		for _, r := range b.reqs {
+			r.h.fail(now, err)
+		}
+		ep.stats.FailedRuns++
+		ep.dispatch()
+	}
+}
+
+// finishRun runs in simulation context when a replica's engine run
+// completes: it frees the replica, splits the output columns back to the
+// coalesced requests and dispatches any backlog.
+func (ep *Endpoint) finishRun(rep *replica, b *batch, res *core.Result, err error) {
+	ep.free = append(ep.free, rep)
+	now := ep.svc.Now()
+	if err != nil {
+		ep.stats.FailedRuns++
+		for _, r := range b.reqs {
+			r.h.fail(now, err)
+		}
+		ep.dispatch()
+		return
+	}
+	ep.stats.Runs++
+	ep.stats.RunSamples += b.samples
+	ep.stats.RunRequests += len(b.reqs)
+	if b.samples > ep.stats.MaxSamples {
+		ep.stats.MaxSamples = b.samples
+	}
+	ep.stats.Cost.Lambda += res.Cost.Lambda
+	ep.stats.Cost.SNS += res.Cost.SNS
+	ep.stats.Cost.SQS += res.Cost.SQS
+	ep.stats.Cost.S3 += res.Cost.S3
+	ep.stats.Cost.EC2 += res.Cost.EC2
+	for _, w := range res.Workers {
+		if w.Warm {
+			ep.stats.WarmStarts++
+		} else {
+			ep.stats.ColdStarts++
+		}
+	}
+	off := 0
+	for _, r := range b.reqs {
+		cols := r.input.Cols
+		r.h.complete(now, &Response{
+			Endpoint:      ep.name,
+			RunID:         res.RunID,
+			Output:        sliceCols(res.Output, off, cols),
+			Latency:       now - r.arrived,
+			RunLatency:    res.Latency,
+			BatchSamples:  b.samples,
+			BatchRequests: len(b.reqs),
+			CostShare:     res.Cost.Total() * float64(cols) / float64(res.Batch),
+		})
+		off += cols
+	}
+	ep.dispatch()
+}
+
+// mergeInputs concatenates the batch's activation matrices column-wise
+// into one engine input, in admission order.
+func mergeInputs(neurons int, b *batch) *sparse.Dense {
+	if len(b.reqs) == 1 {
+		return b.reqs[0].input
+	}
+	out := sparse.NewDense(neurons, b.samples)
+	off := 0
+	for _, r := range b.reqs {
+		for row := 0; row < neurons; row++ {
+			copy(out.Row(row)[off:off+r.input.Cols], r.input.Row(row))
+		}
+		off += r.input.Cols
+	}
+	return out
+}
+
+// sliceCols copies columns [off, off+cols) of src into a fresh matrix.
+func sliceCols(src *sparse.Dense, off, cols int) *sparse.Dense {
+	if off == 0 && cols == src.Cols {
+		return src
+	}
+	out := sparse.NewDense(src.Rows, cols)
+	for row := 0; row < src.Rows; row++ {
+		copy(out.Row(row), src.Row(row)[off:off+cols])
+	}
+	return out
+}
+
+// Handle is the pending result of one Submit.
+type Handle struct {
+	svc      *Service
+	endpoint string
+	done     bool
+	resp     *Response
+	err      error
+	finished time.Duration
+}
+
+// Response is one request's resolved result.
+type Response struct {
+	// Endpoint and RunID identify where and in which engine run the
+	// request was served.
+	Endpoint string
+	RunID    string
+	// Output is this request's slice of the activation output.
+	Output *sparse.Dense
+	// Latency is arrival to result availability, including coalescing
+	// wait and admission queueing.
+	Latency time.Duration
+	// RunLatency is the underlying engine run's latency.
+	RunLatency time.Duration
+	// BatchSamples and BatchRequests describe the coalesced engine run
+	// this request rode in.
+	BatchSamples  int
+	BatchRequests int
+	// CostShare is the request's per-sample share of the run's
+	// ledger-reconstructed cost.
+	CostShare float64
+}
+
+// Done reports whether the request has resolved.
+func (h *Handle) Done() bool { return h.done }
+
+// Err returns the request's error, if resolved and failed.
+func (h *Handle) Err() error { return h.err }
+
+// Wait drives the simulation until the request resolves and returns its
+// response. Any number of handles may be waited in any order; the first
+// Wait drains every in-flight request in one simulated-time run.
+func (h *Handle) Wait() (*Response, error) {
+	if !h.done {
+		if err := h.svc.Run(); err != nil && !h.done {
+			return nil, err
+		}
+	}
+	if !h.done {
+		return nil, fmt.Errorf("serve: request to %q did not complete", h.endpoint)
+	}
+	return h.resp, h.err
+}
+
+func (h *Handle) complete(now time.Duration, resp *Response) {
+	if h.done {
+		return
+	}
+	h.done = true
+	h.resp = resp
+	h.finished = now
+}
+
+func (h *Handle) fail(now time.Duration, err error) {
+	if h.done {
+		return
+	}
+	h.done = true
+	h.err = err
+	h.finished = now
+}

@@ -1,0 +1,94 @@
+package fsdinference_test
+
+import (
+	"testing"
+	"time"
+
+	"fsdinference"
+)
+
+// The public serving API, end to end: a multi-model Service with
+// asynchronous Submit and trace replay, exercised exactly as a library
+// consumer would use it.
+
+func TestPublicServiceSubmitAndReplay(t *testing.T) {
+	mSmall, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(128, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLarge, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := fsdinference.NewService(fsdinference.NewEnv(),
+		fsdinference.WithEndpoint("small", mSmall),
+		fsdinference.WithEndpoint("large", mLarge,
+			fsdinference.WithChannel(fsdinference.Queue),
+			fsdinference.WithWorkers(3)),
+		fsdinference.WithCoalescing(64, 200*time.Millisecond),
+		fsdinference.WithReplicas(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Async submits: two overlapping requests to different endpoints in
+	// one simulated-time run.
+	inSmall := fsdinference.GenerateInputs(128, 8, 0.2, 2)
+	inLarge := fsdinference.GenerateInputs(256, 8, 0.2, 3)
+	hSmall := svc.Submit("small", inSmall, 0)
+	hLarge := svc.Submit("large", inLarge, 0)
+	rSmall, err := hSmall.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLarge, err := hLarge.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsdinference.OutputsClose(rSmall.Output, fsdinference.Reference(mSmall, inSmall), 1e-2) {
+		t.Fatal("small endpoint output diverges from reference")
+	}
+	if !fsdinference.OutputsClose(rLarge.Output, fsdinference.Reference(mLarge, inLarge), 1e-2) {
+		t.Fatal("large endpoint output diverges from reference")
+	}
+
+	// Trace replay continues on the same service, after the submits.
+	trace := fsdinference.WorkloadDay(30*8, []int{128, 256}, 8, 7)
+	rep, err := svc.Replay(trace, fsdinference.ReplayOptions{Seed: 11, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.Queries != len(trace) {
+		t.Fatalf("replay served %d/%d with %d failures", rep.Queries, len(trace), rep.Failed)
+	}
+	if rep.Latency.P50 <= 0 || rep.TotalCost.Total() <= 0 {
+		t.Fatalf("report missing measurements: %+v", rep.Latency)
+	}
+}
+
+// Deploy/Infer must keep working unchanged as the one-shot compatibility
+// path alongside the Service API.
+func TestDeployInferCompatibilityPath(t *testing.T) {
+	m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(128, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fsdinference.Deploy(fsdinference.NewEnv(), fsdinference.Config{
+		Model: m, Channel: fsdinference.Serial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := fsdinference.GenerateInputs(128, 8, 0.2, 2)
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsdinference.OutputsClose(res.Output, fsdinference.Reference(m, input), 1e-2) {
+		t.Fatal("compat path output diverges from reference")
+	}
+	if res.Cost.Total() <= 0 || res.Latency <= 0 {
+		t.Fatal("compat path lost metering")
+	}
+}
