@@ -18,3 +18,4 @@ test:
 
 bench:
 	go test -bench . -benchtime 1x .
+	go run ./tools/benchjson -out BENCH_1.json

@@ -8,6 +8,8 @@
 //	fsdserve [-queries N] [-sizes 256,512] [-batch B] [-layers L]
 //	         [-workers P] [-channel serial|queue|object]
 //	         [-replicas R] [-coalesce-batch S] [-coalesce-delay D]
+//	         [-autoscale] [-max-replicas M] [-run-concurrency C]
+//	         [-admission fifo|priority|deadline]
 //	         [-seed S] [-verify]
 package main
 
@@ -29,7 +31,11 @@ func main() {
 	layers := flag.Int("layers", 12, "layer count per model")
 	workers := flag.Int("workers", 1, "FaaS worker parallelism per endpoint")
 	channel := flag.String("channel", "", "channel: serial, queue or object (default: serial, or queue when workers > 1)")
-	replicas := flag.Int("replicas", 2, "warm deployment replicas per endpoint")
+	replicas := flag.Int("replicas", 2, "warm deployment replicas per endpoint (fixed pool)")
+	autoscale := flag.Bool("autoscale", false, "scale each endpoint's pool from queue depth and arrival rate instead of a fixed size")
+	maxReplicas := flag.Int("max-replicas", 4, "autoscaler pool bound (with -autoscale)")
+	runConc := flag.Int("run-concurrency", 1, "engine runs one replica may overlap")
+	admission := flag.String("admission", "fifo", "admission policy: fifo, priority or deadline")
 	coalesceBatch := flag.Int("coalesce-batch", 128, "max samples per coalesced engine run")
 	coalesceDelay := flag.Duration("coalesce-delay", 100*time.Millisecond, "max wait before a coalescing batch closes")
 	seed := flag.Int64("seed", 7, "trace and input seed")
@@ -50,7 +56,22 @@ func main() {
 
 	opts := []fsdinference.ServiceOption{
 		fsdinference.WithCoalescing(*coalesceBatch, *coalesceDelay),
-		fsdinference.WithReplicas(*replicas),
+		fsdinference.WithRunConcurrency(*runConc),
+	}
+	if *autoscale {
+		opts = append(opts, fsdinference.WithScaling(fsdinference.Autoscaler(
+			fsdinference.AutoscalerOptions{Min: 1, Max: *maxReplicas})))
+	} else {
+		opts = append(opts, fsdinference.WithReplicas(*replicas))
+	}
+	switch *admission {
+	case "fifo":
+	case "priority":
+		opts = append(opts, fsdinference.WithAdmission(fsdinference.PriorityAdmission()))
+	case "deadline":
+		opts = append(opts, fsdinference.WithAdmission(fsdinference.DeadlineAdmission(true)))
+	default:
+		fatal("unknown admission policy %q", *admission)
 	}
 	var epOpts []fsdinference.EndpointOption
 	if *workers > 1 {

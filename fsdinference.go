@@ -144,18 +144,24 @@ const (
 func Deploy(e *Env, cfg Config) (*Deployment, error) { return core.Deploy(e, cfg) }
 
 // The serving layer: a long-lived multi-model endpoint with asynchronous
-// Submit, per-endpoint admission queues, request coalescing into batched
-// engine runs (the upstream buffering the paper assumes in §V-B2), a
-// warm replica pool with metered cold starts, and trace replay that turns
-// the §VI-C daily-cost comparison from arithmetic into measurement:
+// Submit, per-endpoint admission queues under pluggable scheduling
+// policies (FIFO, priority, deadline-aware with shedding/rerouting),
+// request coalescing into batched engine runs (the upstream buffering the
+// paper assumes in §V-B2), replica pools sized by pluggable scaling
+// policies (fixed or autoscaling from queue depth and arrival rate, with
+// metered cold starts and replica-hours), run multiplexing on every
+// channel, and trace replay that turns the §VI-C daily-cost comparison
+// from arithmetic into measurement:
 //
 //	svc, _ := fsdinference.NewService(env,
 //		fsdinference.WithEndpoint("small", mSmall),
 //		fsdinference.WithEndpoint("large", mLarge,
 //			fsdinference.WithChannel(fsdinference.Queue), fsdinference.WithWorkers(20)),
 //		fsdinference.WithCoalescing(64, 500*time.Millisecond),
+//		fsdinference.WithScaling(fsdinference.Autoscaler(fsdinference.AutoscalerOptions{Min: 1, Max: 4})),
+//		fsdinference.WithAdmission(fsdinference.DeadlineAdmission(true)),
 //	)
-//	h := svc.Submit("small", input, at) // many requests in flight at once
+//	h := svc.SubmitWith("small", input, at, fsdinference.SubmitOptions{Priority: 2})
 //	resp, _ := h.Wait()                 // drives one shared simulated-time run
 //	report, _ := svc.Replay(fsdinference.WorkloadDay(100*32, sizes, 32, 7), fsdinference.ReplayOptions{})
 type (
@@ -169,15 +175,56 @@ type (
 	Handle = serve.Handle
 	// Response is one request's resolved result.
 	Response = serve.Response
+	// SubmitOptions carries per-request scheduling metadata (priority,
+	// deadline).
+	SubmitOptions = serve.SubmitOptions
 	// ServiceReport is the measured outcome of a trace replay.
 	ServiceReport = serve.Report
 	// EndpointReport is one endpoint's share of a replay.
 	EndpointReport = serve.EndpointReport
+	// PriorityLatency is one priority class's latency distribution.
+	PriorityLatency = serve.PriorityLatency
 	// LatencyStats summarises a latency distribution (p50/p95/p99...).
 	LatencyStats = serve.LatencyStats
 	// ReplayOptions tunes a trace replay.
 	ReplayOptions = serve.ReplayOptions
+
+	// AdmissionPolicy orders an endpoint's admission queue and decides
+	// shedding/rerouting at dispatch time.
+	AdmissionPolicy = serve.AdmissionPolicy
+	// ScalingPolicy sizes an endpoint's replica pool.
+	ScalingPolicy = serve.ScalingPolicy
+	// RequestInfo is a policy's view of one queued request.
+	RequestInfo = serve.RequestInfo
+	// PoolState is a scaling policy's view of one endpoint's scheduler.
+	PoolState = serve.PoolState
+	// AutoscalerOptions tunes the demand-driven scaling policy.
+	AutoscalerOptions = serve.AutoscalerOptions
+	// SLOOptions configures deploy-time AutoSelect and drift re-selection
+	// for an endpoint.
+	SLOOptions = serve.SLOOptions
 )
+
+// ErrShed marks a request rejected by a deadline admission policy; test
+// with errors.Is.
+var ErrShed = serve.ErrShed
+
+// FIFO returns the default admission policy: strict arrival order.
+func FIFO() AdmissionPolicy { return serve.FIFO() }
+
+// PriorityAdmission dispatches higher-priority requests first.
+func PriorityAdmission() AdmissionPolicy { return serve.PriorityAdmission() }
+
+// DeadlineAdmission is earliest-deadline-first with shedding of requests
+// that cannot meet their deadline; reroute offers shed requests to a
+// sibling endpoint serving the same model size first.
+func DeadlineAdmission(reroute bool) AdmissionPolicy { return serve.DeadlineAdmission(reroute) }
+
+// FixedPool keeps a static replica pool of n (the WithReplicas behaviour).
+func FixedPool(n int) ScalingPolicy { return serve.FixedPool(n) }
+
+// Autoscaler grows and shrinks the pool from queue depth and arrival rate.
+func Autoscaler(o AutoscalerOptions) ScalingPolicy { return serve.Autoscaler(o) }
 
 // NewService builds a multi-model serving endpoint on the environment.
 func NewService(e *Env, opts ...ServiceOption) (*Service, error) { return serve.NewService(e, opts...) }
@@ -194,8 +241,19 @@ func WithCoalescing(maxBatch int, maxDelay time.Duration) ServiceOption {
 	return serve.WithCoalescing(maxBatch, maxDelay)
 }
 
-// WithReplicas sets the service-wide warm-pool size per endpoint.
+// WithReplicas sets the service-wide warm-pool size per endpoint
+// (shorthand for WithScaling(FixedPool(n))).
 func WithReplicas(n int) ServiceOption { return serve.WithReplicas(n) }
+
+// WithAdmission sets the service-wide admission policy (default FIFO).
+func WithAdmission(p AdmissionPolicy) ServiceOption { return serve.WithAdmission(p) }
+
+// WithScaling sets the service-wide scaling policy (default FixedPool).
+func WithScaling(p ScalingPolicy) ServiceOption { return serve.WithScaling(p) }
+
+// WithRunConcurrency sets how many engine runs one replica may overlap
+// (default 1); runs are isolated per run id on every channel.
+func WithRunConcurrency(n int) ServiceOption { return serve.WithRunConcurrency(n) }
 
 // WithChannel selects an endpoint's communication variant.
 func WithChannel(k ChannelKind) EndpointOption { return serve.WithChannel(k) }
@@ -217,6 +275,25 @@ func WithEndpointCoalescing(maxBatch int, maxDelay time.Duration) EndpointOption
 
 // WithEndpointReplicas overrides the warm-pool size per endpoint.
 func WithEndpointReplicas(n int) EndpointOption { return serve.WithEndpointReplicas(n) }
+
+// WithEndpointAdmission overrides the admission policy per endpoint.
+func WithEndpointAdmission(p AdmissionPolicy) EndpointOption {
+	return serve.WithEndpointAdmission(p)
+}
+
+// WithEndpointScaling overrides the scaling policy per endpoint.
+func WithEndpointScaling(p ScalingPolicy) EndpointOption { return serve.WithEndpointScaling(p) }
+
+// WithEndpointRunConcurrency overrides the per-replica run concurrency per
+// endpoint.
+func WithEndpointRunConcurrency(n int) EndpointOption {
+	return serve.WithEndpointRunConcurrency(n)
+}
+
+// WithSLO lets an endpoint pick its channel and worker parallelism at
+// deploy time via AutoSelect, given latency/cost priorities, and re-select
+// when the observed workload drifts.
+func WithSLO(o SLOOptions) EndpointOption { return serve.WithSLO(o) }
 
 // WithDeployOverride mutates an endpoint's deployment configuration after
 // defaults are applied (threads, polling, memory sizing).

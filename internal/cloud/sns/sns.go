@@ -131,6 +131,22 @@ func (t *Topic) Subscribe(q *sqs.Queue, filter FilterPolicy) {
 	t.subs = append(t.subs, subscription{queue: q, filter: filter})
 }
 
+// Unsubscribe detaches every subscription of q from the topic. Like
+// Subscribe it is a free control-plane operation; messages already handed
+// to the delivery agent still land on the queue.
+func (t *Topic) Unsubscribe(q *sqs.Queue) {
+	keep := t.subs[:0]
+	for _, s := range t.subs {
+		if s.queue != q {
+			keep = append(keep, s)
+		}
+	}
+	for i := len(keep); i < len(t.subs); i++ {
+		t.subs[i] = subscription{}
+	}
+	t.subs = keep
+}
+
 // PublishBatch publishes up to MaxBatchEntries messages in one API call from
 // Proc p. The publisher is charged the API latency plus upload time; the
 // meter records one publish call, the 64 KiB-increment billed requests, and

@@ -150,6 +150,16 @@ func (s *Service) CreateQueue(name string) *Queue {
 // Queue returns the named queue, or nil if it does not exist.
 func (s *Service) Queue(name string) *Queue { return s.queues[name] }
 
+// DeleteQueue removes the named queue (free control-plane operation, like
+// CreateQueue). Messages still held by the queue are discarded. Deleting a
+// queue that does not exist is a no-op.
+func (s *Service) DeleteQueue(name string) {
+	if q, ok := s.queues[name]; ok {
+		q.Purge()
+		delete(s.queues, name)
+	}
+}
+
 // Queue is a single simulated SQS queue.
 type Queue struct {
 	name     string

@@ -65,6 +65,58 @@ func TestConcurrentStartsShareOneKernelRun(t *testing.T) {
 	}
 }
 
+// Run-id partitioned queue consumption: two Queue-channel runs started on
+// ONE deployment must overlap in virtual time and both produce reference
+// outputs — the restriction the replica pool used to enforce is gone.
+func TestOverlappingQueueRunsOnOneDeployment(t *testing.T) {
+	e := env.NewDefault()
+	m, err := model.Generate(model.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.BuildPlan(m, 3, partition.HGPDNN, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Deploy(e, Config{Model: m, Plan: plan, Channel: Queue, PollWait: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inA := model.GenerateInputs(256, 8, 0.2, 2)
+	inB := model.GenerateInputs(256, 8, 0.2, 3)
+	type out struct {
+		res *Result
+		err error
+		end time.Duration
+	}
+	var a, b out
+	if _, err := d.Start(inA, func(r *Result, err error) { a = out{r, err, e.K.Now()} }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Start(inB, func(r *Result, err error) { b = out{r, err, e.K.Now()} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.err != nil || b.err != nil {
+		t.Fatalf("run errors: a=%v b=%v", a.err, b.err)
+	}
+	if !model.OutputsClose(a.res.Output, model.Reference(m, inA), 1e-2) {
+		t.Fatal("run A output diverges from reference")
+	}
+	if !model.OutputsClose(b.res.Output, model.Reference(m, inB), 1e-2) {
+		t.Fatal("run B output diverges from reference")
+	}
+	// Overlap: both started at t=0, so serialised execution would make
+	// run B's completion time at least the sum of both latencies.
+	if b.end >= a.res.Latency+b.res.Latency {
+		t.Fatalf("runs serialised: B finished at %v, latencies %v + %v",
+			b.end, a.res.Latency, b.res.Latency)
+	}
+}
+
 // Reconstructed per-run usage (the asynchronous path's Usage/Cost) must
 // track the exact metered window when runs do not overlap.
 func TestAsyncUsageReconstructionMatchesMeter(t *testing.T) {

@@ -15,8 +15,10 @@ import (
 // (up to 10 messages, possibly for different targets, to maximise payload
 // utilisation and minimise billed publishes), and published to the
 // source-keyed topic topic-{m%T} from parallel threads. The pub-sub service
-// distributes each message to the target's dedicated queue via filter
-// policies; targets long-poll their queue and delete after processing.
+// distributes each message to the target's run-scoped queue via filter
+// policies on (target, run) — consumption is partitioned by run id, so
+// concurrent runs of one deployment never steal each other's messages —
+// and targets long-poll their queue and delete after processing.
 type queueChannel struct{}
 
 // attrOverhead approximates the billed bytes of message attributes.
@@ -122,7 +124,7 @@ func (qc *queueChannel) receive(w *worker, layer int, sources []int32, deliver f
 // and delete processed messages. A source is complete when all its
 // announced byte strings for this (kind, layer) have arrived.
 func (qc *queueChannel) collect(w *worker, kind string, layer int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error {
-	queue := w.d.queues[w.id]
+	queue := w.run.queues[w.id]
 	key := pendKey(kind, layer)
 
 	type progress struct {
@@ -176,7 +178,9 @@ func (qc *queueChannel) collect(w *worker, kind string, layer int, sources []int
 		for _, m := range msgs {
 			handles = append(handles, m.ReceiptHandle)
 			if m.Attributes["run"] != w.run.id {
-				continue // stale message from a previous request
+				// Defensive: the (target, run) subscription filter should
+				// make foreign-run messages impossible.
+				continue
 			}
 			mkind := m.Attributes["kind"]
 			mlayer, _ := strconv.Atoi(m.Attributes["layer"])

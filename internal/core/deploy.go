@@ -28,8 +28,8 @@ type Deployment struct {
 	Env *env.Env
 	Cfg Config
 
+	prefix  string
 	topics  []*sns.Topic
-	queues  []*sqs.Queue
 	buckets []*s3.Bucket
 	store   *s3.Bucket
 
@@ -49,6 +49,12 @@ type runState struct {
 	id    string
 	batch int
 	input *sparse.Dense
+
+	// queues are this run's per-worker receive queues (Queue channel
+	// only): queue m is subscribed to every topic with a service-side
+	// filter on (target=m, run=id), so concurrent runs of one deployment
+	// never consume each other's messages.
+	queues []*sqs.Queue
 
 	rootFut      *faas.Future
 	metrics      []*WorkerMetrics
@@ -75,6 +81,7 @@ func Deploy(e *env.Env, cfg Config) (*Deployment, error) {
 	d := &Deployment{
 		Env:           e,
 		Cfg:           cfg,
+		prefix:        prefix,
 		fnWorker:      prefix + "-worker",
 		fnCoordinator: prefix + "-coordinator",
 		fnSerial:      prefix + "-serial",
@@ -88,22 +95,13 @@ func Deploy(e *env.Env, cfg Config) (*Deployment, error) {
 	d.stageModel()
 
 	if cfg.Channel == Queue {
-		p := cfg.Workers()
-		d.queues = make([]*sqs.Queue, p)
-		for m := 0; m < p; m++ {
-			d.queues[m] = e.SQS.CreateQueue(fmt.Sprintf("%s-q-%d", prefix, m))
-		}
+		// Topics are created a priori (free to keep, §III-A); the
+		// per-worker receive queues are created per run in bindRunQueues,
+		// with filter policies keyed on (target, run), so any number of
+		// runs can overlap on one deployment.
 		d.topics = make([]*sns.Topic, cfg.Topics)
 		for t := 0; t < cfg.Topics; t++ {
 			d.topics[t] = e.SNS.CreateTopic(fmt.Sprintf("%s-topic-%d", prefix, t))
-			// Every worker's queue subscribes to every topic with a
-			// service-side filter on its own id, so distribution is
-			// offloaded to the pub-sub service (§III-A).
-			for m := 0; m < p; m++ {
-				d.topics[t].Subscribe(d.queues[m], sns.FilterPolicy{
-					"target": {strconv.Itoa(m)},
-				})
-			}
 		}
 	}
 	if cfg.Channel == Object {
@@ -201,11 +199,11 @@ type workerPayload struct {
 // environment meter cannot attribute concurrently metered usage to one
 // run. The synchronous Infer path reports exact metered usage instead.
 //
-// Overlapping runs on the same deployment are only safe for the Serial
-// and Object channels (object keys are run-scoped); the Queue channel
-// shares per-worker queues across runs, so queue deployments must finish
-// one run before starting the next — the serving layer enforces this by
-// pooling replicas.
+// Any number of runs may overlap on the same deployment, whatever its
+// channel: object keys are run-scoped, and the Queue channel partitions
+// consumption by run id — each run gets its own per-worker queues,
+// subscribed to the shared topics with a service-side filter on
+// (target, run), so concurrent runs never consume each other's messages.
 func (d *Deployment) Start(input *sparse.Dense, done func(*Result, error)) (string, error) {
 	if input.Rows != d.Cfg.Model.Spec.Neurons {
 		return "", fmt.Errorf("core: input has %d rows, model expects %d", input.Rows, d.Cfg.Model.Spec.Neurons)
@@ -218,13 +216,51 @@ func (d *Deployment) Start(input *sparse.Dense, done func(*Result, error)) (stri
 	}
 	d.runs[run.id] = run
 	d.stageInput(run)
+	d.bindRunQueues(run)
 
 	d.Env.K.Go("client-"+run.id, func(p *sim.Proc) {
 		res, err := d.clientRun(p, run)
 		delete(d.runs, run.id)
+		d.unbindRunQueues(run)
 		done(res, err)
 	})
 	return run.id, nil
+}
+
+// bindRunQueues creates the run's per-worker receive queues and subscribes
+// each to every topic with a service-side filter on (target, run). Queue
+// creation and subscription are free control-plane operations, like the
+// paper's a-priori resource provisioning; scoping them per run is what
+// lets Queue-channel runs overlap on one deployment.
+func (d *Deployment) bindRunQueues(run *runState) {
+	if d.Cfg.Channel != Queue {
+		return
+	}
+	p := d.Cfg.Workers()
+	run.queues = make([]*sqs.Queue, p)
+	for m := 0; m < p; m++ {
+		q := d.Env.SQS.CreateQueue(fmt.Sprintf("%s-%s-q-%d", d.prefix, run.id, m))
+		run.queues[m] = q
+		filter := sns.FilterPolicy{
+			"target": {strconv.Itoa(m)},
+			"run":    {run.id},
+		}
+		for _, t := range d.topics {
+			t.Subscribe(q, filter)
+		}
+	}
+}
+
+// unbindRunQueues tears the run's queues down once the run completes, so a
+// long-lived deployment does not accumulate dead subscriptions.
+func (d *Deployment) unbindRunQueues(run *runState) {
+	for _, q := range run.queues {
+		for _, t := range d.topics {
+			t.Unsubscribe(q)
+		}
+		d.Env.SQS.DeleteQueue(q.Name())
+	}
+	run.queues = nil
 }
 
 // clientRun is the client-side body of one request: invoke the serial

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"fsdinference/internal/model"
@@ -20,6 +21,9 @@ type ReplayOptions struct {
 	// model size: the first endpoint whose model has the query's neuron
 	// count.
 	Route func(q workload.Query) (string, bool)
+	// Submit supplies per-query scheduling metadata (priority, deadline)
+	// for the admission policy; nil submits every query with defaults.
+	Submit func(i int, q workload.Query) SubmitOptions
 	// Verify checks every request's output against serial float64
 	// reference inference; a mismatch fails the replay.
 	Verify bool
@@ -45,11 +49,11 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	route := opts.Route
 	if route == nil {
 		route = func(q workload.Query) (string, bool) {
-			ep, ok := s.byNeurons[q.Neurons]
-			if !ok {
+			eps := s.byNeuronsAll[q.Neurons]
+			if len(eps) == 0 {
 				return "", false
 			}
-			return ep.name, true
+			return eps[0].name, true
 		}
 	}
 
@@ -64,10 +68,15 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	cold0, warm0 := s.env.FaaS.ColdStarts, s.env.FaaS.WarmStarts
 	statSnaps := make([]endpointStats, len(s.eps))
 	for i, ep := range s.eps {
+		// Close the replica-seconds accrual at the window edge so the
+		// subtraction below charges exactly this replay's pool time.
+		ep.sched.accrue(base)
 		statSnaps[i] = ep.stats
-		// MaxSamples is a high-water mark, not a counter: restart it so
-		// the report's MaxRunSamples describes this replay's window.
+		// The high-water fields are marks, not counters: restart them so
+		// the report describes this replay's window.
 		ep.stats.MaxSamples = 0
+		ep.stats.MaxConcurrent = 0
+		ep.stats.PeakReplicas = len(ep.sched.pool)
 	}
 
 	handles := make([]*Handle, len(trace))
@@ -84,15 +93,24 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 		}
 		inputs[i] = model.GenerateInputs(q.Neurons, q.Samples, opts.Density, opts.Seed+int64(i))
 		eps[i] = ep
-		handles[i] = s.Submit(name, inputs[i], base+q.At)
+		var so SubmitOptions
+		if opts.Submit != nil {
+			so = opts.Submit(i, q)
+		}
+		handles[i] = s.SubmitWith(name, inputs[i], base+q.At, so)
 	}
 	if err := s.Run(); err != nil {
 		return nil, err
+	}
+	end := s.Now()
+	for _, ep := range s.eps {
+		ep.sched.accrue(end)
 	}
 
 	rep := &Report{}
 	var all []time.Duration
 	perEp := make(map[*Endpoint][]time.Duration, len(s.eps))
+	perPrio := make(map[*Endpoint]map[int][]time.Duration, len(s.eps))
 	epQueries := make(map[*Endpoint]int, len(s.eps))
 	epFailed := make(map[*Endpoint]int, len(s.eps))
 	epSamples := make(map[*Endpoint]int, len(s.eps))
@@ -113,6 +131,10 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 		epSamples[ep] += resp.Output.Cols
 		all = append(all, resp.Latency)
 		perEp[ep] = append(perEp[ep], resp.Latency)
+		if perPrio[ep] == nil {
+			perPrio[ep] = make(map[int][]time.Duration)
+		}
+		perPrio[ep][h.priority] = append(perPrio[ep][h.priority], resp.Latency)
 		if h.finished-base > rep.Horizon {
 			rep.Horizon = h.finished - base
 		}
@@ -127,25 +149,49 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	for i, ep := range s.eps {
 		st := ep.stats.sub(statSnaps[i])
 		er := EndpointReport{
-			Name:          ep.name,
-			Neurons:       ep.m.Spec.Neurons,
-			Channel:       ep.cfg.Channel,
-			Workers:       ep.cfg.Workers(),
-			Replicas:      len(ep.replicas),
-			Queries:       epQueries[ep],
-			Failed:        epFailed[ep],
-			Samples:       epSamples[ep],
-			Runs:          st.Runs,
-			FailedRuns:    st.FailedRuns,
-			MaxRunSamples: st.MaxSamples,
-			ColdStarts:    st.ColdStarts,
-			WarmStarts:    st.WarmStarts,
-			Latency:       latencyStats(perEp[ep]),
-			Cost:          st.Cost,
+			Name:              ep.name,
+			Neurons:           ep.m.Spec.Neurons,
+			Channel:           ep.cfg.Channel,
+			Workers:           ep.cfg.Workers(),
+			Replicas:          len(ep.sched.pool),
+			PeakReplicas:      st.PeakReplicas,
+			Admission:         ep.sched.admission.Name(),
+			Scaling:           ep.sched.scaling.Name(),
+			ReplicaSeconds:    st.ReplicaSeconds,
+			ScaleUps:          st.ScaleUps,
+			ScaleDowns:        st.ScaleDowns,
+			Shed:              st.Shed,
+			Rerouted:          st.Rerouted,
+			DeadlineMissed:    st.DeadlineMissed,
+			Reselections:      st.Reselections,
+			MaxConcurrentRuns: st.MaxConcurrent,
+			Queries:           epQueries[ep],
+			Failed:            epFailed[ep],
+			Samples:           epSamples[ep],
+			Runs:              st.Runs,
+			FailedRuns:        st.FailedRuns,
+			MaxRunSamples:     st.MaxSamples,
+			ColdStarts:        st.ColdStarts,
+			WarmStarts:        st.WarmStarts,
+			Latency:           latencyStats(perEp[ep]),
+			Cost:              st.Cost,
 		}
 		if st.Runs > 0 {
 			er.AvgRunSamples = float64(st.RunSamples) / float64(st.Runs)
 			er.AvgRunRequests = float64(st.RunRequests) / float64(st.Runs)
+		}
+		if groups := perPrio[ep]; len(groups) > 1 {
+			prios := make([]int, 0, len(groups))
+			for p := range groups {
+				prios = append(prios, p)
+			}
+			sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+			for _, p := range prios {
+				er.PerPriority = append(er.PerPriority, PriorityLatency{
+					Priority: p,
+					Latency:  latencyStats(groups[p]),
+				})
+			}
 		}
 		rep.Endpoints = append(rep.Endpoints, er)
 	}

@@ -54,14 +54,43 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 	return sorted[rank-1]
 }
 
+// PriorityLatency is one priority class's latency distribution within a
+// replay.
+type PriorityLatency struct {
+	Priority int
+	Latency  LatencyStats
+}
+
 // EndpointReport is one endpoint's share of a replay.
 type EndpointReport struct {
 	Name    string
 	Neurons int
 	Channel core.ChannelKind
 	Workers int
-	// Replicas is the endpoint's warm-pool size.
-	Replicas int
+	// Replicas is the endpoint's warm-pool size at the end of the replay;
+	// PeakReplicas the largest pool the scaling policy grew to within it.
+	Replicas     int
+	PeakReplicas int
+	// Admission and Scaling name the scheduler policies in force.
+	Admission string
+	Scaling   string
+	// ReplicaSeconds integrates pool size over the replay window (the
+	// provisioned-capacity analogue of instance-hours); ScaleUps and
+	// ScaleDowns count replicas added and reclaimed by the scaling policy.
+	ReplicaSeconds float64
+	ScaleUps       int
+	ScaleDowns     int
+	// Shed counts requests rejected by the admission policy (ErrShed),
+	// Rerouted those it moved to a sibling endpoint, DeadlineMissed the
+	// requests that completed after their deadline. Reselections counts
+	// SLO-triggered AutoSelect re-runs.
+	Shed           int
+	Rerouted       int
+	DeadlineMissed int
+	Reselections   int
+	// MaxConcurrentRuns is the largest number of engine runs observed in
+	// flight on one replica (run multiplexing high-water).
+	MaxConcurrentRuns int
 
 	// Queries and Failed count requests; Samples counts their columns.
 	Queries int
@@ -79,8 +108,10 @@ type EndpointReport struct {
 	WarmStarts     int // function instances reusing a warm pool
 
 	// Latency is the per-request distribution (arrival to result,
-	// including coalescing wait and queueing).
-	Latency LatencyStats
+	// including coalescing wait and queueing). PerPriority breaks it down
+	// by priority class when more than one was submitted.
+	Latency     LatencyStats
+	PerPriority []PriorityLatency
 
 	// Cost is the endpoint's ledger-reconstructed spend (§VI-F
 	// predictor), summed over its runs.
@@ -135,7 +166,17 @@ func (r *Report) String() string {
 				ep.AvgRunRequests, ep.AvgRunSamples, ep.MaxRunSamples)
 		}
 		fmt.Fprintf(&sb, "\n  starts: %d cold / %d warm\n", ep.ColdStarts, ep.WarmStarts)
+		fmt.Fprintf(&sb, "  sched: %s admission, %s scaling\n", ep.Admission, ep.Scaling)
+		fmt.Fprintf(&sb, "  pool: peak %d, %.3f replica-hours, %d up / %d down, max %d run(s)/replica\n",
+			ep.PeakReplicas, ep.ReplicaSeconds/3600, ep.ScaleUps, ep.ScaleDowns, ep.MaxConcurrentRuns)
+		if ep.Shed+ep.Rerouted+ep.DeadlineMissed+ep.Reselections > 0 {
+			fmt.Fprintf(&sb, "  policy: %d shed, %d rerouted, %d deadline-missed, %d reselection(s)\n",
+				ep.Shed, ep.Rerouted, ep.DeadlineMissed, ep.Reselections)
+		}
 		fmt.Fprintf(&sb, "  latency: %s\n", fmtLatency(ep.Latency))
+		for _, pl := range ep.PerPriority {
+			fmt.Fprintf(&sb, "  latency p=%d: %s\n", pl.Priority, fmtLatency(pl.Latency))
+		}
 		fmt.Fprintf(&sb, "  cost (ledger): %s\n", ep.Cost.String())
 	}
 	fmt.Fprintf(&sb, "total metered cost: %s\n", r.TotalCost.String())

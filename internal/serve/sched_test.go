@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/core"
+	"fsdinference/internal/model"
+	"fsdinference/internal/workload"
+)
+
+// Scheduler subsystem tests: policy-ordered admission (priority, deadline
+// shedding and rerouting), autoscaling replica pools with deterministic
+// replay, SLO-driven AutoSelect, and Queue-channel run multiplexing.
+
+func TestEndpointReplicasOverridesServiceScalingPolicy(t *testing.T) {
+	// WithEndpointReplicas is shorthand for a fixed pool: it must win
+	// over a service-wide autoscaler for that endpoint, not be silently
+	// ignored.
+	m := testModel(t, 128, 6)
+	svc, err := NewService(env.NewDefault(),
+		WithScaling(Autoscaler(AutoscalerOptions{Min: 1, Max: 4})),
+		WithEndpoint("auto", m),
+		WithEndpoint("fixed", m, WithEndpointReplicas(3)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.byName["fixed"].sched.scaling.Name(); got != "fixed(3)" {
+		t.Fatalf("fixed endpoint scaling = %s, want fixed(3)", got)
+	}
+	if got := len(svc.byName["fixed"].sched.pool); got != 3 {
+		t.Fatalf("fixed endpoint pool = %d, want 3", got)
+	}
+	if got := svc.byName["auto"].sched.scaling.Name(); got != "autoscale(1..4)" {
+		t.Fatalf("auto endpoint scaling = %s, want autoscale(1..4)", got)
+	}
+}
+
+func TestPriorityAdmissionDispatchesHighPriorityFirst(t *testing.T) {
+	// One replica, one run at a time, 4-sample batches that cannot merge
+	// (maxBatch 4): a filler run occupies the replica while a low- and a
+	// high-priority request queue behind it. The high-priority request
+	// must dispatch first despite arriving later.
+	m := testModel(t, 128, 6)
+	svc, err := NewService(env.NewDefault(),
+		WithEndpoint("ep", m),
+		WithCoalescing(4, 0),
+		WithAdmission(PriorityAdmission()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filler := svc.Submit("ep", model.GenerateInputs(128, 4, 0.2, 2), 0)
+	low := svc.SubmitWith("ep", model.GenerateInputs(128, 4, 0.2, 3), 10*time.Millisecond, SubmitOptions{Priority: 1})
+	high := svc.SubmitWith("ep", model.GenerateInputs(128, 4, 0.2, 4), 20*time.Millisecond, SubmitOptions{Priority: 5})
+	if err := svc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for name, h := range map[string]*Handle{"filler": filler, "low": low, "high": high} {
+		if h.err != nil {
+			t.Fatalf("%s failed: %v", name, h.err)
+		}
+	}
+	if high.finished >= low.finished {
+		t.Fatalf("high priority finished at %v, low at %v: want high first",
+			high.finished, low.finished)
+	}
+	if ep := svc.byName["ep"]; ep.stats.Runs != 3 {
+		t.Fatalf("runs = %d, want 3 separate runs", ep.stats.Runs)
+	}
+}
+
+func TestDeadlineAdmissionShedsUnmeetableRequests(t *testing.T) {
+	m := testModel(t, 128, 6)
+	svc, err := NewService(env.NewDefault(),
+		WithEndpoint("ep", m),
+		WithCoalescing(4, 0),
+		WithAdmission(DeadlineAdmission(false)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The filler occupies the single replica; the doomed request's
+	// deadline expires long before the filler's run completes.
+	filler := svc.Submit("ep", model.GenerateInputs(128, 4, 0.2, 2), 0)
+	doomed := svc.SubmitWith("ep", model.GenerateInputs(128, 4, 0.2, 3), 1*time.Millisecond,
+		SubmitOptions{Deadline: 2 * time.Millisecond})
+	fine := svc.SubmitWith("ep", model.GenerateInputs(128, 4, 0.2, 4), 1*time.Millisecond,
+		SubmitOptions{Deadline: time.Hour})
+	if err := svc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filler.Wait(); err != nil {
+		t.Fatalf("filler failed: %v", err)
+	}
+	if _, err := doomed.Wait(); !errors.Is(err, ErrShed) {
+		t.Fatalf("doomed request: got %v, want ErrShed", err)
+	}
+	resp, err := fine.Wait()
+	if err != nil {
+		t.Fatalf("deadline-meeting request failed: %v", err)
+	}
+	if resp.Output == nil {
+		t.Fatal("deadline-meeting request got no output")
+	}
+	ep := svc.byName["ep"]
+	if ep.stats.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", ep.stats.Shed)
+	}
+}
+
+func TestDeadlineRerouteMovesRequestToSiblingEndpoint(t *testing.T) {
+	// Two endpoints serving the same model size. "a" is blocked by a
+	// filler; a tight-deadline request queued on it is rerouted to the
+	// idle "b" instead of being shed.
+	m := testModel(t, 128, 6)
+	svc, err := NewService(env.NewDefault(),
+		WithEndpoint("a", m, WithEndpointAdmission(DeadlineAdmission(true))),
+		WithEndpoint("b", m),
+		WithCoalescing(4, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filler := svc.Submit("a", model.GenerateInputs(128, 4, 0.2, 2), 0)
+	in := model.GenerateInputs(128, 4, 0.2, 3)
+	urgent := svc.SubmitWith("a", in, 1*time.Millisecond, SubmitOptions{Deadline: 3 * time.Millisecond})
+	if err := svc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filler.Wait(); err != nil {
+		t.Fatalf("filler failed: %v", err)
+	}
+	resp, err := urgent.Wait()
+	if err != nil {
+		t.Fatalf("urgent request should have been rerouted, got: %v", err)
+	}
+	if resp.Endpoint != "b" {
+		t.Fatalf("urgent request served by %q, want reroute to \"b\"", resp.Endpoint)
+	}
+	if !model.OutputsClose(resp.Output, model.Reference(m, in), 1e-2) {
+		t.Fatal("rerouted request got the wrong output")
+	}
+	if a := svc.byName["a"]; a.stats.Rerouted != 1 || a.stats.Shed != 0 {
+		t.Fatalf("endpoint a rerouted=%d shed=%d, want 1/0", a.stats.Rerouted, a.stats.Shed)
+	}
+}
+
+func TestQueueChannelRunsOverlapOnOneReplica(t *testing.T) {
+	// A distributed Queue endpoint with ONE replica but run concurrency 2:
+	// two same-instant requests that cannot coalesce (maxBatch 4) must run
+	// as two overlapping engine runs on the single deployment.
+	large := testModel(t, 256, 6)
+	svc, err := NewService(env.NewDefault(),
+		WithEndpoint("large", large, WithChannel(core.Queue), WithWorkers(3)),
+		WithCoalescing(4, 0),
+		WithRunConcurrency(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA := model.GenerateInputs(256, 4, 0.2, 2)
+	inB := model.GenerateInputs(256, 4, 0.2, 3)
+	hA := svc.Submit("large", inA, 0)
+	hB := svc.Submit("large", inB, 0)
+	rA, err := hA.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rB, err := hB.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.OutputsClose(rA.Output, model.Reference(large, inA), 1e-2) {
+		t.Fatal("first overlapped run diverges from reference")
+	}
+	if !model.OutputsClose(rB.Output, model.Reference(large, inB), 1e-2) {
+		t.Fatal("second overlapped run diverges from reference")
+	}
+	ep := svc.byName["large"]
+	if len(ep.sched.pool) != 1 {
+		t.Fatalf("pool size = %d, want 1", len(ep.sched.pool))
+	}
+	if ep.stats.Runs != 2 {
+		t.Fatalf("runs = %d, want 2", ep.stats.Runs)
+	}
+	if ep.stats.MaxConcurrent < 2 {
+		t.Fatalf("max concurrent runs per replica = %d, want >= 2", ep.stats.MaxConcurrent)
+	}
+	// Overlap, not serialisation: the later completion must be earlier
+	// than the sum of both run latencies.
+	finish := hA.finished
+	if hB.finished > finish {
+		finish = hB.finished
+	}
+	if finish >= rA.RunLatency+rB.RunLatency {
+		t.Fatalf("runs serialised: last finish %v, latencies %v + %v",
+			finish, rA.RunLatency, rB.RunLatency)
+	}
+}
+
+// autoscaleTrace is a sporadic day with an evening burst: mostly idle, so
+// a fixed pool wastes replica-hours, with enough clustered load that the
+// autoscaler must grow.
+func autoscaleTrace() []workload.Query {
+	day := workload.Day(40*8, []int{128}, 8, 7)
+	burst := make([]workload.Query, 0, 10)
+	for i := 0; i < 10; i++ {
+		burst = append(burst, workload.Query{
+			At:      18*time.Hour + time.Duration(i)*400*time.Millisecond,
+			Neurons: 128,
+			Samples: 8,
+		})
+	}
+	return append(day, burst...)
+}
+
+func autoscaleReplay(t *testing.T, scaling ScalingPolicy) *Report {
+	t.Helper()
+	m := testModel(t, 128, 6)
+	svc, err := NewService(env.NewDefault(),
+		WithEndpoint("ep", m),
+		WithCoalescing(16, 100*time.Millisecond),
+		WithScaling(scaling),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Replay(autoscaleTrace(), ReplayOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d failed queries", rep.Failed)
+	}
+	return rep
+}
+
+func TestAutoscalerUsesFewerReplicaHoursThanFixedPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay is a long simulation")
+	}
+	fixed := autoscaleReplay(t, FixedPool(3))
+	auto := autoscaleReplay(t, Autoscaler(AutoscalerOptions{Min: 1, Max: 3}))
+
+	fep, aep := fixed.Endpoints[0], auto.Endpoints[0]
+	if aep.ReplicaSeconds >= fep.ReplicaSeconds {
+		t.Fatalf("autoscaler replica-seconds %.0f, fixed %.0f: want fewer",
+			aep.ReplicaSeconds, fep.ReplicaSeconds)
+	}
+	// The acceptance bar: lower provisioned capacity at equal or better
+	// tail latency.
+	if auto.Latency.P95 > fixed.Latency.P95 {
+		t.Fatalf("autoscaler p95 %v worse than fixed %v", auto.Latency.P95, fixed.Latency.P95)
+	}
+	if aep.ScaleUps == 0 || aep.ScaleDowns == 0 {
+		t.Fatalf("autoscaler never scaled: %d up / %d down", aep.ScaleUps, aep.ScaleDowns)
+	}
+	if aep.PeakReplicas <= 1 {
+		t.Fatalf("autoscaler peak replicas = %d, want growth beyond 1", aep.PeakReplicas)
+	}
+}
+
+func TestAutoscaledReplayDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay is a long simulation")
+	}
+	run := func() string {
+		return autoscaleReplay(t, Autoscaler(AutoscalerOptions{Min: 1, Max: 3})).String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same trace + seed under autoscaling produced different reports:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func TestSLOSelectsConfigurationAndReselectsOnDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AutoSelect trials are long simulations")
+	}
+	m := testModel(t, 128, 6)
+	svc, err := NewService(env.NewDefault(),
+		WithEndpoint("slo", m, WithSLO(SLOOptions{
+			LatencyWeight:  0.5,
+			Workers:        []int{2},
+			ProbeBatch:     4,
+			ReselectFactor: 2,
+			MinRuns:        2,
+		})),
+		WithCoalescing(64, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := svc.byName["slo"]
+	// The endpoint picked its own configuration: whatever AutoSelect
+	// chose, the deployment must match it and serve correctly.
+	want, err := core.AutoSelect(m, core.AutoSelectOptions{
+		LatencyWeight: 0.5, Workers: []int{2}, ProbeBatch: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.cfg.Channel != want.Best.Channel || ep.cfg.Workers() != want.Best.Workers {
+		t.Fatalf("endpoint deployed %v x%d, AutoSelect chose %v x%d",
+			ep.cfg.Channel, ep.cfg.Workers(), want.Best.Channel, want.Best.Workers)
+	}
+	// Drive sustained 64-sample batches — 16x the probe assumption — past
+	// MinRuns to trigger a drift re-selection.
+	for i := 0; i < 3; i++ {
+		in := model.GenerateInputs(128, 64, 0.2, int64(2+i))
+		h := svc.Submit("slo", in, time.Duration(i)*10*time.Second)
+		if _, err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ep.stats.Reselections == 0 {
+		t.Fatal("observed batch drifted 16x from probe but no re-selection happened")
+	}
+}
+
+func TestRunErrorSurfacesOnAllUnresolvedHandles(t *testing.T) {
+	// A doomed distributed endpoint (timeout far too small) and a healthy
+	// serial endpoint. The healthy handle resolves first inside the same
+	// kernel run; the doomed handles must each surface the run error even
+	// though another handle already resolved, and Wait must never report
+	// the generic "did not complete".
+	small := testModel(t, 128, 6)
+	doomed := testModel(t, 256, 6)
+	svc, err := NewService(env.NewDefault(),
+		WithEndpoint("ok", small),
+		WithEndpoint("doomed", doomed, WithChannel(core.Queue), WithWorkers(3),
+			WithDeployOverride(func(c *core.Config) { c.FunctionTimeout = 400 * time.Millisecond })),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOK := svc.Submit("ok", model.GenerateInputs(128, 4, 0.2, 2), 0)
+	hBad1 := svc.Submit("doomed", model.GenerateInputs(256, 4, 0.2, 2), 0)
+	hBad2 := svc.Submit("doomed", model.GenerateInputs(256, 4, 0.2, 3), time.Second)
+	if _, err := hOK.Wait(); err != nil {
+		t.Fatalf("healthy endpoint failed: %v", err)
+	}
+	for i, h := range []*Handle{hBad1, hBad2} {
+		_, err := h.Wait()
+		if err == nil {
+			t.Fatalf("doomed request %d succeeded", i)
+		}
+		if !h.Done() {
+			t.Fatalf("doomed request %d still pending after Wait", i)
+		}
+	}
+}

@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"fsdinference/internal/core"
+	"fsdinference/internal/sim"
+)
+
+// scheduler owns one endpoint's scheduling mechanics: the coalescing
+// window, the policy-ordered admission queue, the replica pool with its
+// scaling decisions and replica-hour metering, and the run lifecycle. The
+// policies it consults are pluggable (policy.go); the scheduler itself is
+// deterministic — every decision happens at a virtual-time event.
+type scheduler struct {
+	ep *Endpoint
+
+	coalesce  coalescePolicy
+	admission AdmissionPolicy
+	scaling   ScalingPolicy
+	runConc   int // concurrent engine runs one replica sustains
+
+	// Open coalescing window (requests whose batch has not closed yet).
+	window        []*request
+	windowSamples int
+	windowTimer   *sim.Timer
+
+	// Admission queue: closed-window requests awaiting dispatch, ordered
+	// by the admission policy.
+	queue         admissionHeap
+	queuedSamples int
+	seq           int
+
+	pool     []*replica
+	busyRuns int
+
+	// Workload observation for deadline shedding and autoscaling.
+	estRun      time.Duration // EWMA of engine-run latency
+	lastArrival time.Duration
+	haveArrival bool
+	interEWMA   float64 // EWMA inter-arrival seconds
+
+	// Pool metering.
+	lastAccrue time.Duration
+	graceTimer *sim.Timer
+}
+
+// replica is one deployment in an endpoint's warm pool. Since Queue-
+// channel consumption is partitioned by run id (core.Deployment.Start),
+// a replica can overlap up to runConc engine runs whatever its channel.
+type replica struct {
+	d         *core.Deployment
+	active    int
+	lastUsed  time.Duration
+	idleSince time.Duration
+	// stale marks a replica whose deployment predates an SLO
+	// re-selection; it is replaced with the current configuration the
+	// next time it goes idle.
+	stale bool
+}
+
+// admissionHeap is a container/heap ordered by the admission policy.
+type admissionHeap struct {
+	pol  AdmissionPolicy
+	reqs []*request
+}
+
+func (h *admissionHeap) Len() int           { return len(h.reqs) }
+func (h *admissionHeap) Less(i, j int) bool { return h.pol.Less(h.reqs[i].info(), h.reqs[j].info()) }
+func (h *admissionHeap) Swap(i, j int)      { h.reqs[i], h.reqs[j] = h.reqs[j], h.reqs[i] }
+func (h *admissionHeap) Push(x any)         { h.reqs = append(h.reqs, x.(*request)) }
+func (h *admissionHeap) Pop() any {
+	old := h.reqs
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	h.reqs = old[:n-1]
+	return r
+}
+
+func newScheduler(ep *Endpoint, coalesce coalescePolicy, admission AdmissionPolicy, scaling ScalingPolicy, runConc int) *scheduler {
+	sc := &scheduler{
+		ep:        ep,
+		coalesce:  coalesce,
+		admission: admission,
+		scaling:   scaling,
+		runConc:   runConc,
+	}
+	sc.queue.pol = admission
+	return sc
+}
+
+func (sc *scheduler) now() time.Duration { return sc.ep.svc.Now() }
+
+// admit adds a request to the endpoint's open coalescing window, arming
+// the flush trigger on the first request and force-flushing when the
+// window reaches the sample bound. It runs in simulation context.
+func (sc *scheduler) admit(r *request) {
+	now := sc.now()
+	if sc.haveArrival {
+		dt := (now - sc.lastArrival).Seconds()
+		if sc.interEWMA == 0 {
+			sc.interEWMA = dt
+		} else {
+			sc.interEWMA = 0.75*sc.interEWMA + 0.25*dt
+		}
+	}
+	sc.haveArrival = true
+	sc.lastArrival = now
+
+	sc.seq++
+	r.seq = sc.seq
+	sc.window = append(sc.window, r)
+	sc.windowSamples += r.samples
+	if sc.coalesce.maxBatch > 0 && sc.windowSamples >= sc.coalesce.maxBatch {
+		sc.flush()
+		return
+	}
+	if len(sc.window) == 1 {
+		if sc.coalesce.maxDelay > 0 {
+			sc.windowTimer = sc.ep.svc.env.K.After(sc.coalesce.maxDelay, sc.flush)
+		} else {
+			// Zero-delay coalescing still merges everything arriving at
+			// this same virtual instant: the flush event is scheduled
+			// behind all already-queued admissions.
+			sc.ep.svc.env.K.At(0, sc.flush)
+		}
+	}
+}
+
+// flush closes the open coalescing window into the admission queue, lets
+// the scaling policy see the new backlog, and dispatches.
+func (sc *scheduler) flush() {
+	if len(sc.window) == 0 {
+		return
+	}
+	if sc.windowTimer != nil {
+		sc.windowTimer.Stop()
+		sc.windowTimer = nil
+	}
+	for _, r := range sc.window {
+		heap.Push(&sc.queue, r)
+		sc.queuedSamples += r.samples
+	}
+	sc.window = nil
+	sc.windowSamples = 0
+	sc.evaluatePool()
+	sc.dispatch()
+}
+
+// arrivalRate returns the EWMA request arrival rate in requests/second.
+func (sc *scheduler) arrivalRate() float64 {
+	if sc.interEWMA <= 0 {
+		return 0
+	}
+	return 1 / math.Max(sc.interEWMA, 1e-3)
+}
+
+func (sc *scheduler) poolState() PoolState {
+	return PoolState{
+		Now:            sc.now(),
+		Replicas:       len(sc.pool),
+		BusyRuns:       sc.busyRuns,
+		RunCapacity:    sc.runConc,
+		QueuedRequests: sc.queue.Len(),
+		QueuedSamples:  sc.queuedSamples,
+		ArrivalRate:    sc.arrivalRate(),
+		EstRunLatency:  sc.estRun,
+	}
+}
+
+// accrue charges replica-seconds for the pool size held since the last
+// change, so ReplicaSeconds integrates pool size over virtual time.
+func (sc *scheduler) accrue(now time.Duration) {
+	sc.ep.stats.ReplicaSeconds += float64(len(sc.pool)) * (now - sc.lastAccrue).Seconds()
+	sc.lastAccrue = now
+}
+
+// evaluatePool applies the scaling policy: growth immediately, shrinkage
+// only over replicas idle past the grace period (arming a re-check timer
+// for idle replicas still inside it).
+func (sc *scheduler) evaluatePool() {
+	now := sc.now()
+	sc.accrue(now)
+	target := sc.scaling.Target(sc.poolState())
+	if target < 1 {
+		target = 1
+	}
+	for len(sc.pool) < target {
+		sc.addReplica(now)
+		sc.ep.stats.ScaleUps++
+	}
+	if len(sc.pool) > sc.ep.stats.PeakReplicas {
+		sc.ep.stats.PeakReplicas = len(sc.pool)
+	}
+	if target >= len(sc.pool) {
+		return
+	}
+	grace := sc.scaling.IdleGrace()
+	// Reclaim the coldest eligible idle replicas first.
+	for len(sc.pool) > target {
+		victim := -1
+		for i, rep := range sc.pool {
+			if rep.active > 0 || now-rep.idleSince < grace {
+				continue
+			}
+			if victim < 0 || rep.lastUsed < sc.pool[victim].lastUsed {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		sc.accrue(now)
+		sc.pool = append(sc.pool[:victim], sc.pool[victim+1:]...)
+		sc.ep.stats.ScaleDowns++
+	}
+	// Still above target: some idle replicas are inside the grace period.
+	// Arm a re-check at the earliest time one becomes reclaimable.
+	if len(sc.pool) > target && sc.graceTimer == nil {
+		earliest := time.Duration(math.MaxInt64)
+		for _, rep := range sc.pool {
+			if rep.active == 0 && rep.idleSince+grace < earliest {
+				earliest = rep.idleSince + grace
+			}
+		}
+		if earliest == time.Duration(math.MaxInt64) {
+			return
+		}
+		delay := earliest - now
+		if delay < 0 {
+			delay = 0
+		}
+		sc.graceTimer = sc.ep.svc.env.K.After(delay, func() {
+			sc.graceTimer = nil
+			sc.evaluatePool()
+			sc.dispatch()
+		})
+	}
+}
+
+func (sc *scheduler) addReplica(now time.Duration) {
+	d, err := core.Deploy(sc.ep.svc.env, sc.ep.dcfg)
+	if err != nil {
+		// The configuration was validated when the endpoint was built (and
+		// any re-selected configuration comes out of AutoSelect), so a
+		// scale-up deploy cannot fail short of a programming error.
+		panic(fmt.Sprintf("serve: endpoint %q scale-up deploy: %v", sc.ep.name, err))
+	}
+	sc.accrue(now)
+	sc.pool = append(sc.pool, &replica{d: d, lastUsed: now, idleSince: now})
+	sc.ep.cfg = d.Cfg
+}
+
+// pickReplica returns the replica the next run should land on: the most
+// recently used idle replica (warmest instance pools), else the least
+// loaded replica with spare run capacity. nil when the pool is saturated.
+func (sc *scheduler) pickReplica() *replica {
+	var idle, busy *replica
+	for _, rep := range sc.pool {
+		switch {
+		case rep.active == 0:
+			if idle == nil || rep.lastUsed > idle.lastUsed {
+				idle = rep
+			}
+		case rep.active < sc.runConc:
+			if busy == nil || rep.active < busy.active ||
+				(rep.active == busy.active && rep.lastUsed > busy.lastUsed) {
+				busy = rep
+			}
+		}
+	}
+	if idle != nil {
+		return idle
+	}
+	return busy
+}
+
+// dispatch forms batches from the admission queue in policy order and
+// starts them on replicas with spare run capacity.
+func (sc *scheduler) dispatch() {
+	for sc.queue.Len() > 0 {
+		rep := sc.pickReplica()
+		if rep == nil {
+			return
+		}
+		b := sc.nextBatch()
+		if b == nil {
+			return
+		}
+		sc.startRun(rep, b)
+	}
+}
+
+// nextBatch pops requests in admission order into one engine-run batch of
+// at most maxBatch samples (an oversized request rides alone in a larger
+// run), shedding requests the policy rejects at dispatch time. Returns nil
+// if shedding emptied the queue.
+func (sc *scheduler) nextBatch() *batch {
+	now := sc.now()
+	var cur *batch
+	for sc.queue.Len() > 0 {
+		r := sc.queue.reqs[0]
+		if sc.admission.Shed(now, sc.estRun, r.info()) {
+			heap.Pop(&sc.queue)
+			sc.queuedSamples -= r.samples
+			sc.shed(r, now)
+			continue
+		}
+		if cur != nil && sc.coalesce.maxBatch > 0 && cur.samples+r.samples > sc.coalesce.maxBatch {
+			break
+		}
+		heap.Pop(&sc.queue)
+		sc.queuedSamples -= r.samples
+		if cur == nil {
+			cur = &batch{}
+		}
+		cur.reqs = append(cur.reqs, r)
+		cur.samples += r.samples
+	}
+	return cur
+}
+
+// shed handles a policy-rejected request: offered once to another endpoint
+// serving the same model size when the policy reroutes, failed with
+// ErrShed otherwise.
+func (sc *scheduler) shed(r *request, now time.Duration) {
+	if sc.admission.Reroute() && !r.rerouted {
+		for _, alt := range sc.ep.svc.byNeuronsAll[sc.ep.m.Spec.Neurons] {
+			if alt == sc.ep {
+				continue
+			}
+			r.rerouted = true
+			sc.ep.stats.Rerouted++
+			alt.sched.admit(r)
+			return
+		}
+	}
+	sc.ep.stats.Shed++
+	r.h.fail(now, fmt.Errorf("serve: endpoint %q: %w (deadline %v, now %v)",
+		sc.ep.name, ErrShed, r.deadline, now))
+}
+
+// startRun merges the batch's inputs and begins one engine run on the
+// replica; completion redistributes results to the batch's handles.
+func (sc *scheduler) startRun(rep *replica, b *batch) {
+	rep.active++
+	rep.lastUsed = sc.now()
+	sc.busyRuns++
+	if rep.active > sc.ep.stats.MaxConcurrent {
+		sc.ep.stats.MaxConcurrent = rep.active
+	}
+	input := mergeInputs(sc.ep.m.Spec.Neurons, b)
+	_, err := rep.d.Start(input, func(res *core.Result, err error) {
+		sc.finishRun(rep, b, res, err)
+	})
+	if err != nil {
+		sc.releaseRun(rep)
+		now := sc.now()
+		for _, r := range b.reqs {
+			r.h.fail(now, err)
+		}
+		sc.ep.stats.FailedRuns++
+		sc.dispatch()
+	}
+}
+
+func (sc *scheduler) releaseRun(rep *replica) {
+	rep.active--
+	sc.busyRuns--
+	now := sc.now()
+	rep.lastUsed = now
+	if rep.active == 0 {
+		rep.idleSince = now
+		sc.maybeReplace(rep, now)
+	}
+}
+
+// maybeReplace swaps an idle stale replica (one deployed before an SLO
+// re-selection) for a fresh deployment of the current configuration.
+func (sc *scheduler) maybeReplace(rep *replica, now time.Duration) {
+	if !rep.stale {
+		return
+	}
+	d, err := core.Deploy(sc.ep.svc.env, sc.ep.dcfg)
+	if err != nil {
+		panic(fmt.Sprintf("serve: endpoint %q re-selection deploy: %v", sc.ep.name, err))
+	}
+	rep.d = d
+	rep.stale = false
+	rep.lastUsed = now
+	rep.idleSince = now
+	sc.ep.cfg = d.Cfg
+}
+
+// finishRun runs in simulation context when a replica's engine run
+// completes: it releases the run slot, splits the output columns back to
+// the coalesced requests, feeds the observations to the scaling/SLO
+// machinery and dispatches any backlog.
+func (sc *scheduler) finishRun(rep *replica, b *batch, res *core.Result, err error) {
+	sc.releaseRun(rep)
+	ep := sc.ep
+	now := sc.now()
+	if err != nil {
+		ep.stats.FailedRuns++
+		for _, r := range b.reqs {
+			r.h.fail(now, err)
+		}
+		sc.evaluatePool()
+		sc.dispatch()
+		return
+	}
+	if sc.estRun == 0 {
+		sc.estRun = res.Latency
+	} else {
+		sc.estRun = (3*sc.estRun + res.Latency) / 4
+	}
+	ep.stats.Runs++
+	ep.stats.RunSamples += b.samples
+	ep.stats.RunRequests += len(b.reqs)
+	if b.samples > ep.stats.MaxSamples {
+		ep.stats.MaxSamples = b.samples
+	}
+	ep.stats.Cost.Lambda += res.Cost.Lambda
+	ep.stats.Cost.SNS += res.Cost.SNS
+	ep.stats.Cost.SQS += res.Cost.SQS
+	ep.stats.Cost.S3 += res.Cost.S3
+	ep.stats.Cost.EC2 += res.Cost.EC2
+	for _, w := range res.Workers {
+		if w.Warm {
+			ep.stats.WarmStarts++
+		} else {
+			ep.stats.ColdStarts++
+		}
+	}
+	off := 0
+	for _, r := range b.reqs {
+		cols := r.input.Cols
+		if r.deadline > 0 && now > r.deadline {
+			ep.stats.DeadlineMissed++
+		}
+		r.h.complete(now, &Response{
+			Endpoint:      ep.name,
+			RunID:         res.RunID,
+			Output:        sliceCols(res.Output, off, cols),
+			Latency:       now - r.arrived,
+			RunLatency:    res.Latency,
+			BatchSamples:  b.samples,
+			BatchRequests: len(b.reqs),
+			CostShare:     res.Cost.Total() * float64(cols) / float64(res.Batch),
+		})
+		off += cols
+	}
+	ep.observeRun(b.samples)
+	sc.evaluatePool()
+	sc.dispatch()
+}

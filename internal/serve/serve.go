@@ -5,18 +5,23 @@
 // single simulated-time run, realising the upstream buffering the paper
 // assumes for its sporadic workloads (§V-B2, §VI-C).
 //
-// Each named endpoint owns one model and a warm pool of deployment
-// replicas. Requests pass through a per-endpoint admission queue where
-// they are coalesced into batches — requests arriving within the
-// coalescing window (or queued behind busy replicas) ride the same engine
-// run, amortising launch and communication cost — then dispatch to a free
-// replica. Cold and warm starts are metered by the FaaS platform exactly
-// as for one-shot runs, so a sporadic day pays realistic cold-start
-// latency while a bursty hour reuses warm instances.
+// Each named endpoint owns one model and a replica pool of deployments
+// managed by a policy-driven scheduler (scheduler.go, policy.go). Requests
+// pass through a per-endpoint coalescing window into an admission queue
+// ordered by a pluggable admission policy — FIFO, priority, or
+// deadline-aware with shedding/rerouting — and dispatch to replicas with
+// spare run capacity; since Queue-channel consumption is partitioned by
+// run id in core, one replica can overlap runs on any channel. A pluggable
+// scaling policy sizes the pool: fixed (WithReplicas) or an autoscaler
+// growing and shrinking with queue depth and arrival rate, metering every
+// scale event and replica-hour. Cold and warm starts are metered by the
+// FaaS platform exactly as for one-shot runs, so a sporadic day pays
+// realistic cold-start latency while a bursty hour reuses warm instances.
 package serve
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"fsdinference/internal/cloud/env"
@@ -24,7 +29,6 @@ import (
 	"fsdinference/internal/core"
 	"fsdinference/internal/model"
 	"fsdinference/internal/partition"
-	"fsdinference/internal/sim"
 	"fsdinference/internal/sparse"
 )
 
@@ -40,25 +44,32 @@ type coalescePolicy struct {
 
 // endpointConfig accumulates per-endpoint options before deployment.
 type endpointConfig struct {
-	name     string
-	m        *model.Model
-	channel  core.ChannelKind
-	chanSet  bool
-	workers  int
-	scheme   partition.Scheme
-	seed     int64
-	plan     *partition.Plan
-	policy   *coalescePolicy
-	replicas int
-	mutate   func(*core.Config)
+	name      string
+	m         *model.Model
+	channel   core.ChannelKind
+	chanSet   bool
+	workers   int
+	scheme    partition.Scheme
+	seed      int64
+	plan      *partition.Plan
+	policy    *coalescePolicy
+	replicas  int
+	admission AdmissionPolicy
+	scaling   ScalingPolicy
+	runConc   int
+	slo       *SLOOptions
+	mutate    func(*core.Config)
 }
 
 // serviceConfig accumulates Service options.
 type serviceConfig struct {
-	policy   coalescePolicy
-	replicas int
-	eps      []*endpointConfig
-	err      error
+	policy    coalescePolicy
+	replicas  int
+	admission AdmissionPolicy
+	scaling   ScalingPolicy
+	runConc   int
+	eps       []*endpointConfig
+	err       error
 }
 
 // Option configures a Service.
@@ -76,9 +87,35 @@ func WithCoalescing(maxBatch int, maxDelay time.Duration) Option {
 }
 
 // WithReplicas sets the service-wide default warm-pool size: how many
-// deployment replicas each endpoint keeps, bounding its run concurrency.
+// deployment replicas each endpoint keeps. It is shorthand for
+// WithScaling(FixedPool(n)) — whichever of the two appears later wins.
 func WithReplicas(n int) Option {
-	return func(c *serviceConfig) { c.replicas = n }
+	return func(c *serviceConfig) {
+		c.replicas = n
+		if n > 0 {
+			c.scaling = FixedPool(n)
+		}
+	}
+}
+
+// WithAdmission sets the service-wide default admission policy (default
+// FIFO()).
+func WithAdmission(p AdmissionPolicy) Option {
+	return func(c *serviceConfig) { c.admission = p }
+}
+
+// WithScaling sets the service-wide default scaling policy (default
+// FixedPool of the WithReplicas size).
+func WithScaling(p ScalingPolicy) Option {
+	return func(c *serviceConfig) { c.scaling = p }
+}
+
+// WithRunConcurrency sets the service-wide default number of engine runs
+// one replica may have in flight at once (default 1). Values above 1
+// exploit the core engine's run-multiplexed channels: concurrent runs of
+// one deployment are isolated per run id on every channel.
+func WithRunConcurrency(n int) Option {
+	return func(c *serviceConfig) { c.runConc = n }
 }
 
 // WithEndpoint registers a named model endpoint.
@@ -123,13 +160,44 @@ func WithEndpointCoalescing(maxBatch int, maxDelay time.Duration) EndpointOption
 }
 
 // WithEndpointReplicas overrides the service-wide warm-pool size for this
-// endpoint.
+// endpoint (shorthand for WithEndpointScaling(FixedPool(n)) — whichever
+// of the two appears later wins).
 func WithEndpointReplicas(n int) EndpointOption {
-	return func(ec *endpointConfig) { ec.replicas = n }
+	return func(ec *endpointConfig) {
+		ec.replicas = n
+		if n > 0 {
+			ec.scaling = FixedPool(n)
+		}
+	}
+}
+
+// WithEndpointAdmission overrides the admission policy for this endpoint.
+func WithEndpointAdmission(p AdmissionPolicy) EndpointOption {
+	return func(ec *endpointConfig) { ec.admission = p }
+}
+
+// WithEndpointScaling overrides the scaling policy for this endpoint.
+func WithEndpointScaling(p ScalingPolicy) EndpointOption {
+	return func(ec *endpointConfig) { ec.scaling = p }
+}
+
+// WithEndpointRunConcurrency overrides the per-replica run concurrency for
+// this endpoint.
+func WithEndpointRunConcurrency(n int) EndpointOption {
+	return func(ec *endpointConfig) { ec.runConc = n }
+}
+
+// WithSLO lets the endpoint pick its own channel and worker parallelism at
+// deploy time via core.AutoSelect, given latency/cost priorities, and
+// re-select when the observed run batch width drifts (SLOOptions). It
+// conflicts with WithChannel, WithWorkers and WithPlan.
+func WithSLO(o SLOOptions) EndpointOption {
+	return func(ec *endpointConfig) { ec.slo = &o }
 }
 
 // WithDeployOverride mutates the endpoint's deployment configuration
 // after defaults are applied (tuning knob for threads, polling, memory).
+// Under WithSLO it is re-applied to every re-selected configuration.
 func WithDeployOverride(mutate func(*core.Config)) EndpointOption {
 	return func(ec *endpointConfig) { ec.mutate = mutate }
 }
@@ -139,41 +207,63 @@ func WithDeployOverride(mutate func(*core.Config)) EndpointOption {
 // requests to different endpoints — and queued requests to the same
 // endpoint — progress concurrently in virtual time.
 type Service struct {
-	env       *env.Env
-	eps       []*Endpoint
-	byName    map[string]*Endpoint
-	byNeurons map[int]*Endpoint
+	env    *env.Env
+	eps    []*Endpoint
+	byName map[string]*Endpoint
+	// byNeuronsAll maps model size to its endpoints in registration
+	// order; the first entry is the default route, later ones are
+	// reroute siblings.
+	byNeuronsAll map[int][]*Endpoint
+	// pending holds every submitted handle that has not resolved, so a
+	// failed kernel run can surface its error on all of them.
+	pending map[*Handle]struct{}
 }
 
-// Endpoint is one named model behind the Service.
+// Endpoint is one named model behind the Service. Its scheduling — window,
+// admission queue, replica pool — lives in sched.
 type Endpoint struct {
-	svc      *Service
-	name     string
-	m        *model.Model
-	cfg      core.Config
-	policy   coalescePolicy
-	replicas []*replica
-	free     []*replica // LIFO: most recently freed first, to prefer warm pools
-
-	window        []*request // open coalescing batch
-	windowSamples int
-	windowTimer   *sim.Timer
-	backlog       []*batch
+	svc  *Service
+	name string
+	m    *model.Model
+	// dcfg is the deployment template replicas are created from; cfg is
+	// the defaults-applied configuration of the latest deployment.
+	dcfg   core.Config
+	cfg    core.Config
+	mutate func(*core.Config)
+	sched  *scheduler
+	slo    *sloState
 
 	stats endpointStats
 }
 
-// replica is one deployment in an endpoint's warm pool. A replica serves
-// one engine run at a time (the Queue channel shares per-worker queues
-// across runs of a deployment, so runs on one replica never overlap).
-type replica struct {
-	d *core.Deployment
+// sloState tracks an SLO-configured endpoint's observed workload for
+// drift-triggered re-selection.
+type sloState struct {
+	opts       SLOOptions
+	probeBatch float64
+	ewmaBatch  float64
+	runs       int
 }
 
 type request struct {
-	h       *Handle
-	input   *sparse.Dense
-	arrived time.Duration
+	h        *Handle
+	input    *sparse.Dense
+	arrived  time.Duration
+	seq      int
+	priority int
+	deadline time.Duration // absolute virtual time; 0 = none
+	samples  int
+	rerouted bool
+}
+
+func (r *request) info() RequestInfo {
+	return RequestInfo{
+		Seq:      r.seq,
+		Arrived:  r.arrived,
+		Priority: r.priority,
+		Deadline: r.deadline,
+		Samples:  r.samples,
+	}
 }
 
 type batch struct {
@@ -181,8 +271,10 @@ type batch struct {
 	samples int
 }
 
-// endpointStats counts run-level activity. Request-level metrics live on
-// the handles. Snapshot/sub pairs isolate one replay's window.
+// endpointStats counts run- and scheduler-level activity. Request-level
+// metrics live on the handles. Snapshot/sub pairs isolate one replay's
+// window; the high-water fields (MaxSamples, MaxConcurrent, PeakReplicas)
+// are restarted instead of subtracted.
 type endpointStats struct {
 	Runs        int
 	FailedRuns  int
@@ -192,6 +284,16 @@ type endpointStats struct {
 	ColdStarts  int
 	WarmStarts  int
 	Cost        usage.Breakdown
+
+	Shed           int
+	Rerouted       int
+	DeadlineMissed int
+	ScaleUps       int
+	ScaleDowns     int
+	Reselections   int
+	MaxConcurrent  int
+	PeakReplicas   int
+	ReplicaSeconds float64
 }
 
 func (s endpointStats) sub(prev endpointStats) endpointStats {
@@ -201,6 +303,13 @@ func (s endpointStats) sub(prev endpointStats) endpointStats {
 	s.RunRequests -= prev.RunRequests
 	s.ColdStarts -= prev.ColdStarts
 	s.WarmStarts -= prev.WarmStarts
+	s.Shed -= prev.Shed
+	s.Rerouted -= prev.Rerouted
+	s.DeadlineMissed -= prev.DeadlineMissed
+	s.ScaleUps -= prev.ScaleUps
+	s.ScaleDowns -= prev.ScaleDowns
+	s.Reselections -= prev.Reselections
+	s.ReplicaSeconds -= prev.ReplicaSeconds
 	s.Cost.Lambda -= prev.Cost.Lambda
 	s.Cost.SNS -= prev.Cost.SNS
 	s.Cost.SQS -= prev.Cost.SQS
@@ -215,6 +324,7 @@ func NewService(e *env.Env, opts ...Option) (*Service, error) {
 	cfg := &serviceConfig{
 		policy:   coalescePolicy{maxBatch: 512},
 		replicas: 1,
+		runConc:  1,
 	}
 	for _, o := range opts {
 		o(cfg)
@@ -228,10 +338,14 @@ func NewService(e *env.Env, opts ...Option) (*Service, error) {
 	if cfg.replicas <= 0 {
 		return nil, fmt.Errorf("serve: replicas must be positive, got %d", cfg.replicas)
 	}
+	if cfg.runConc <= 0 {
+		return nil, fmt.Errorf("serve: run concurrency must be positive, got %d", cfg.runConc)
+	}
 	s := &Service{
-		env:       e,
-		byName:    make(map[string]*Endpoint),
-		byNeurons: make(map[int]*Endpoint),
+		env:          e,
+		byName:       make(map[string]*Endpoint),
+		byNeuronsAll: make(map[int][]*Endpoint),
+		pending:      make(map[*Handle]struct{}),
 	}
 	for _, ec := range cfg.eps {
 		ep, err := s.buildEndpoint(ec, cfg)
@@ -240,9 +354,7 @@ func NewService(e *env.Env, opts ...Option) (*Service, error) {
 		}
 		s.eps = append(s.eps, ep)
 		s.byName[ep.name] = ep
-		if _, ok := s.byNeurons[ep.m.Spec.Neurons]; !ok {
-			s.byNeurons[ep.m.Spec.Neurons] = ep
-		}
+		s.byNeuronsAll[ep.m.Spec.Neurons] = append(s.byNeuronsAll[ep.m.Spec.Neurons], ep)
 	}
 	return s, nil
 }
@@ -257,43 +369,65 @@ func (s *Service) buildEndpoint(ec *endpointConfig, cfg *serviceConfig) (*Endpoi
 	if ec.m == nil {
 		return nil, fmt.Errorf("serve: endpoint %q has no model", ec.name)
 	}
-	workers := ec.workers
-	if ec.plan != nil {
-		workers = ec.plan.Workers
-	}
-	channel := ec.channel
-	if !ec.chanSet {
-		channel = core.Serial
-		if workers > 1 {
-			channel = core.Queue
+	ep := &Endpoint{svc: s, name: ec.name, m: ec.m, mutate: ec.mutate}
+	if ec.slo != nil {
+		if ec.chanSet || ec.workers > 0 || ec.plan != nil {
+			return nil, fmt.Errorf("serve: endpoint %q: WithSLO conflicts with WithChannel/WithWorkers/WithPlan", ec.name)
 		}
-	}
-	if channel != core.Serial && workers <= 1 {
-		return nil, fmt.Errorf("serve: endpoint %q: %v needs at least 2 workers", ec.name, channel)
-	}
-	plan := ec.plan
-	if channel != core.Serial && plan == nil {
-		var err error
-		plan, err = partition.BuildPlan(ec.m, workers, ec.scheme, partition.Options{Seed: ec.seed})
+		slo := ec.slo.withDefaults()
+		ep.slo = &sloState{opts: slo, probeBatch: float64(slo.ProbeBatch)}
+		dcfg, err := ep.selectConfig(slo.ProbeBatch)
 		if err != nil {
 			return nil, fmt.Errorf("serve: endpoint %q: %w", ec.name, err)
 		}
+		ep.dcfg = dcfg
+	} else {
+		workers := ec.workers
+		if ec.plan != nil {
+			workers = ec.plan.Workers
+		}
+		channel := ec.channel
+		if !ec.chanSet {
+			channel = core.Serial
+			if workers > 1 {
+				channel = core.Queue
+			}
+		}
+		if channel != core.Serial && workers <= 1 {
+			return nil, fmt.Errorf("serve: endpoint %q: %v needs at least 2 workers", ec.name, channel)
+		}
+		plan := ec.plan
+		if channel != core.Serial && plan == nil {
+			var err error
+			plan, err = partition.BuildPlan(ec.m, workers, ec.scheme, partition.Options{Seed: ec.seed})
+			if err != nil {
+				return nil, fmt.Errorf("serve: endpoint %q: %w", ec.name, err)
+			}
+		}
+		ep.dcfg = core.Config{
+			Model:    ec.m,
+			Plan:     plan,
+			Channel:  channel,
+			PollWait: 2 * time.Second,
+		}
+		if ec.mutate != nil {
+			ec.mutate(&ep.dcfg)
+		}
 	}
-	dcfg := core.Config{
-		Model:    ec.m,
-		Plan:     plan,
-		Channel:  channel,
-		PollWait: 2 * time.Second,
-	}
-	if ec.mutate != nil {
-		ec.mutate(&dcfg)
-	}
+
 	policy := cfg.policy
 	if ec.policy != nil {
 		policy = *ec.policy
 	}
 	if policy.maxBatch < 0 || policy.maxDelay < 0 {
 		return nil, fmt.Errorf("serve: endpoint %q: negative coalescing policy", ec.name)
+	}
+	admission := cfg.admission
+	if ec.admission != nil {
+		admission = ec.admission
+	}
+	if admission == nil {
+		admission = FIFO()
 	}
 	replicas := cfg.replicas
 	if ec.replicas != 0 {
@@ -302,18 +436,104 @@ func (s *Service) buildEndpoint(ec *endpointConfig, cfg *serviceConfig) (*Endpoi
 	if replicas <= 0 {
 		return nil, fmt.Errorf("serve: endpoint %q: replicas must be positive, got %d", ec.name, ec.replicas)
 	}
-	ep := &Endpoint{svc: s, name: ec.name, m: ec.m, policy: policy}
-	for i := 0; i < replicas; i++ {
-		d, err := core.Deploy(s.env, dcfg)
+	scaling := cfg.scaling
+	if ec.scaling != nil {
+		scaling = ec.scaling
+	}
+	if scaling == nil {
+		scaling = FixedPool(replicas)
+	}
+	runConc := cfg.runConc
+	if ec.runConc != 0 {
+		runConc = ec.runConc
+	}
+	if runConc <= 0 {
+		return nil, fmt.Errorf("serve: endpoint %q: run concurrency must be positive, got %d", ec.name, ec.runConc)
+	}
+
+	ep.sched = newScheduler(ep, policy, admission, scaling, runConc)
+	initial := scaling.Target(PoolState{RunCapacity: runConc})
+	if initial < 1 {
+		initial = 1
+	}
+	for i := 0; i < initial; i++ {
+		d, err := core.Deploy(s.env, ep.dcfg)
 		if err != nil {
 			return nil, fmt.Errorf("serve: endpoint %q replica %d: %w", ec.name, i, err)
 		}
 		ep.cfg = d.Cfg // defaults applied
-		rep := &replica{d: d}
-		ep.replicas = append(ep.replicas, rep)
-		ep.free = append(ep.free, rep)
+		ep.sched.pool = append(ep.sched.pool, &replica{d: d})
 	}
+	ep.stats.PeakReplicas = len(ep.sched.pool)
 	return ep, nil
+}
+
+// selectConfig runs core.AutoSelect for the endpoint's model with the
+// given probe batch width and returns the chosen deployment template.
+func (ep *Endpoint) selectConfig(probeBatch int) (core.Config, error) {
+	slo := ep.slo.opts
+	sel, err := core.AutoSelect(ep.m, core.AutoSelectOptions{
+		LatencyWeight: slo.LatencyWeight,
+		Workers:       slo.Workers,
+		ProbeBatch:    probeBatch,
+		Seed:          slo.Seed,
+	})
+	if err != nil {
+		return core.Config{}, err
+	}
+	dcfg := sel.Config
+	if ep.mutate != nil {
+		ep.mutate(&dcfg)
+	}
+	return dcfg, nil
+}
+
+// observeRun feeds one completed run's batch width to the SLO machinery:
+// when the EWMA drifts from the probe assumption by ReselectFactor, the
+// endpoint re-runs AutoSelect and replaces replicas (lazily, as they go
+// idle) with the new configuration.
+func (ep *Endpoint) observeRun(samples int) {
+	st := ep.slo
+	if st == nil {
+		return
+	}
+	if st.ewmaBatch == 0 {
+		st.ewmaBatch = float64(samples)
+	} else {
+		st.ewmaBatch = 0.75*st.ewmaBatch + 0.25*float64(samples)
+	}
+	st.runs++
+	f := st.opts.ReselectFactor
+	if f <= 1 || st.runs < st.opts.MinRuns {
+		return
+	}
+	if st.ewmaBatch < st.probeBatch*f && st.ewmaBatch*f > st.probeBatch {
+		return
+	}
+	probe := int(math.Round(st.ewmaBatch))
+	if probe < 1 {
+		probe = 1
+	}
+	st.runs = 0
+	dcfg, err := ep.selectConfig(probe)
+	if err != nil {
+		return // keep the current configuration; retry after MinRuns more runs
+	}
+	st.probeBatch = float64(probe)
+	ep.stats.Reselections++
+	if dcfg.Channel == ep.dcfg.Channel && dcfg.Workers() == ep.dcfg.Workers() {
+		return // same configuration still wins; no redeploy needed
+	}
+	ep.dcfg = dcfg
+	now := ep.svc.Now()
+	for _, rep := range ep.sched.pool {
+		rep.stale = true
+		if rep.active == 0 {
+			// Swaps the deployment and refreshes ep.cfg; busy replicas
+			// follow as they go idle.
+			ep.sched.maybeReplace(rep, now)
+		}
+	}
 }
 
 // Env returns the shared simulated environment.
@@ -331,12 +551,30 @@ func (s *Service) Endpoints() []string {
 // Now returns the current virtual time of the shared kernel.
 func (s *Service) Now() time.Duration { return s.env.K.Now() }
 
+// SubmitOptions carries per-request scheduling metadata.
+type SubmitOptions struct {
+	// Priority orders dispatch under PriorityAdmission (higher first;
+	// default class 0).
+	Priority int
+	// Deadline is the completion budget relative to the request's arrival
+	// time; 0 means none. Under DeadlineAdmission, requests that cannot
+	// meet their deadline are shed (ErrShed) or rerouted.
+	Deadline time.Duration
+}
+
 // Submit enqueues one asynchronous request: input arrives at the named
 // endpoint at virtual time at (clamped to now if already past). The
 // returned handle resolves once the simulation has been driven past the
 // request's completion — via Run, Replay, or the handle's own Wait.
 func (s *Service) Submit(name string, input *sparse.Dense, at time.Duration) *Handle {
-	h := &Handle{svc: s, endpoint: name}
+	return s.SubmitWith(name, input, at, SubmitOptions{})
+}
+
+// SubmitWith is Submit with per-request scheduling metadata: a priority
+// class and/or a completion deadline for the admission policy.
+func (s *Service) SubmitWith(name string, input *sparse.Dense, at time.Duration, opts SubmitOptions) *Handle {
+	h := &Handle{svc: s, endpoint: name, priority: opts.Priority}
+	s.pending[h] = struct{}{}
 	ep := s.byName[name]
 	if ep == nil {
 		h.fail(s.Now(), fmt.Errorf("serve: unknown endpoint %q", name))
@@ -351,155 +589,43 @@ func (s *Service) Submit(name string, input *sparse.Dense, at time.Duration) *Ha
 			name, input.Rows, ep.m.Spec.Neurons))
 		return h
 	}
+	if opts.Deadline < 0 {
+		h.fail(s.Now(), fmt.Errorf("serve: endpoint %q: negative deadline %v", name, opts.Deadline))
+		return h
+	}
 	delay := at - s.Now()
 	s.env.K.At(delay, func() {
-		ep.admit(&request{h: h, input: input, arrived: s.Now()})
+		now := s.Now()
+		r := &request{
+			h:        h,
+			input:    input,
+			arrived:  now,
+			priority: opts.Priority,
+			samples:  input.Cols,
+		}
+		if opts.Deadline > 0 {
+			r.deadline = now + opts.Deadline
+		}
+		ep.sched.admit(r)
 	})
 	return h
 }
 
 // Run drives the shared simulation until every submitted request has
 // drained. It may be called repeatedly; submissions made after a Run are
-// served by the next one.
+// served by the next one. If the simulation itself fails, the error is
+// surfaced on every unresolved handle as well as returned, so no Wait
+// silently loses it.
 func (s *Service) Run() error {
 	if err := s.env.K.Run(); err != nil {
-		return fmt.Errorf("serve: %w", err)
+		err = fmt.Errorf("serve: %w", err)
+		now := s.env.K.Now()
+		for h := range s.pending {
+			h.fail(now, err)
+		}
+		return err
 	}
 	return nil
-}
-
-// admit adds a request to the endpoint's open coalescing batch, arming
-// the flush trigger on the first request and force-flushing when the
-// batch reaches the sample bound.
-func (ep *Endpoint) admit(r *request) {
-	ep.window = append(ep.window, r)
-	ep.windowSamples += r.input.Cols
-	if ep.policy.maxBatch > 0 && ep.windowSamples >= ep.policy.maxBatch {
-		ep.flush()
-		return
-	}
-	if len(ep.window) == 1 {
-		if ep.policy.maxDelay > 0 {
-			ep.windowTimer = ep.svc.env.K.After(ep.policy.maxDelay, ep.flush)
-		} else {
-			// Zero-delay coalescing still merges everything arriving at
-			// this same virtual instant: the flush event is scheduled
-			// behind all already-queued admissions.
-			ep.svc.env.K.At(0, ep.flush)
-		}
-	}
-}
-
-// flush closes the open coalescing batch, splits it into engine-run
-// batches of at most maxBatch samples (splitting only between requests:
-// an oversized request forms its own larger batch) and dispatches to
-// free replicas.
-func (ep *Endpoint) flush() {
-	if len(ep.window) == 0 {
-		return
-	}
-	if ep.windowTimer != nil {
-		ep.windowTimer.Stop()
-		ep.windowTimer = nil
-	}
-	var cur *batch
-	for _, r := range ep.window {
-		if cur != nil && ep.policy.maxBatch > 0 && cur.samples+r.input.Cols > ep.policy.maxBatch {
-			ep.backlog = append(ep.backlog, cur)
-			cur = nil
-		}
-		if cur == nil {
-			cur = &batch{}
-		}
-		cur.reqs = append(cur.reqs, r)
-		cur.samples += r.input.Cols
-	}
-	if cur != nil {
-		ep.backlog = append(ep.backlog, cur)
-	}
-	ep.window = nil
-	ep.windowSamples = 0
-	ep.dispatch()
-}
-
-// dispatch starts backlogged batches on free replicas, most recently
-// freed first so warm instance pools are reused before cold ones.
-func (ep *Endpoint) dispatch() {
-	for len(ep.backlog) > 0 && len(ep.free) > 0 {
-		b := ep.backlog[0]
-		ep.backlog = ep.backlog[1:]
-		rep := ep.free[len(ep.free)-1]
-		ep.free = ep.free[:len(ep.free)-1]
-		ep.startRun(rep, b)
-	}
-}
-
-// startRun merges the batch's inputs and begins one engine run on the
-// replica; completion redistributes results to the batch's handles.
-func (ep *Endpoint) startRun(rep *replica, b *batch) {
-	input := mergeInputs(ep.m.Spec.Neurons, b)
-	_, err := rep.d.Start(input, func(res *core.Result, err error) {
-		ep.finishRun(rep, b, res, err)
-	})
-	if err != nil {
-		ep.free = append(ep.free, rep)
-		now := ep.svc.Now()
-		for _, r := range b.reqs {
-			r.h.fail(now, err)
-		}
-		ep.stats.FailedRuns++
-		ep.dispatch()
-	}
-}
-
-// finishRun runs in simulation context when a replica's engine run
-// completes: it frees the replica, splits the output columns back to the
-// coalesced requests and dispatches any backlog.
-func (ep *Endpoint) finishRun(rep *replica, b *batch, res *core.Result, err error) {
-	ep.free = append(ep.free, rep)
-	now := ep.svc.Now()
-	if err != nil {
-		ep.stats.FailedRuns++
-		for _, r := range b.reqs {
-			r.h.fail(now, err)
-		}
-		ep.dispatch()
-		return
-	}
-	ep.stats.Runs++
-	ep.stats.RunSamples += b.samples
-	ep.stats.RunRequests += len(b.reqs)
-	if b.samples > ep.stats.MaxSamples {
-		ep.stats.MaxSamples = b.samples
-	}
-	ep.stats.Cost.Lambda += res.Cost.Lambda
-	ep.stats.Cost.SNS += res.Cost.SNS
-	ep.stats.Cost.SQS += res.Cost.SQS
-	ep.stats.Cost.S3 += res.Cost.S3
-	ep.stats.Cost.EC2 += res.Cost.EC2
-	for _, w := range res.Workers {
-		if w.Warm {
-			ep.stats.WarmStarts++
-		} else {
-			ep.stats.ColdStarts++
-		}
-	}
-	off := 0
-	for _, r := range b.reqs {
-		cols := r.input.Cols
-		r.h.complete(now, &Response{
-			Endpoint:      ep.name,
-			RunID:         res.RunID,
-			Output:        sliceCols(res.Output, off, cols),
-			Latency:       now - r.arrived,
-			RunLatency:    res.Latency,
-			BatchSamples:  b.samples,
-			BatchRequests: len(b.reqs),
-			CostShare:     res.Cost.Total() * float64(cols) / float64(res.Batch),
-		})
-		off += cols
-	}
-	ep.dispatch()
 }
 
 // mergeInputs concatenates the batch's activation matrices column-wise
@@ -535,6 +661,7 @@ func sliceCols(src *sparse.Dense, off, cols int) *sparse.Dense {
 type Handle struct {
 	svc      *Service
 	endpoint string
+	priority int
 	done     bool
 	resp     *Response
 	err      error
@@ -591,6 +718,7 @@ func (h *Handle) complete(now time.Duration, resp *Response) {
 	h.done = true
 	h.resp = resp
 	h.finished = now
+	delete(h.svc.pending, h)
 }
 
 func (h *Handle) fail(now time.Duration, err error) {
@@ -600,4 +728,5 @@ func (h *Handle) fail(now time.Duration, err error) {
 	h.done = true
 	h.err = err
 	h.finished = now
+	delete(h.svc.pending, h)
 }

@@ -1,6 +1,7 @@
 package fsdinference_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -64,6 +65,55 @@ func TestPublicServiceSubmitAndReplay(t *testing.T) {
 	}
 	if rep.Latency.P50 <= 0 || rep.TotalCost.Total() <= 0 {
 		t.Fatalf("report missing measurements: %+v", rep.Latency)
+	}
+}
+
+// The scheduler surface of the public API: autoscaling replica pools,
+// priority submits and deadline shedding, exercised as a library consumer
+// would.
+func TestPublicSchedulerPolicies(t *testing.T) {
+	m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(128, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := fsdinference.NewService(fsdinference.NewEnv(),
+		fsdinference.WithEndpoint("ep", m),
+		fsdinference.WithCoalescing(4, 0),
+		fsdinference.WithAdmission(fsdinference.DeadlineAdmission(false)),
+		fsdinference.WithScaling(fsdinference.Autoscaler(fsdinference.AutoscalerOptions{Min: 1, Max: 2})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two fillers saturate the autoscaler's Max of 2 replicas, so the
+	// tight-deadline request must queue — and shed once it cannot finish
+	// in time.
+	filler1 := svc.Submit("ep", fsdinference.GenerateInputs(128, 4, 0.2, 2), 0)
+	filler2 := svc.Submit("ep", fsdinference.GenerateInputs(128, 4, 0.2, 4), 0)
+	doomed := svc.SubmitWith("ep", fsdinference.GenerateInputs(128, 4, 0.2, 3), time.Millisecond,
+		fsdinference.SubmitOptions{Deadline: 2 * time.Millisecond})
+	if _, err := filler1.Wait(); err != nil {
+		t.Fatalf("filler failed: %v", err)
+	}
+	if _, err := filler2.Wait(); err != nil {
+		t.Fatalf("second filler failed: %v", err)
+	}
+	if _, err := doomed.Wait(); !errors.Is(err, fsdinference.ErrShed) {
+		t.Fatalf("doomed: got %v, want ErrShed", err)
+	}
+
+	// A replay under autoscaling reports the scheduler metrics.
+	trace := fsdinference.WorkloadDay(20*8, []int{128}, 8, 7)
+	rep, err := svc.Replay(trace, fsdinference.ReplayOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := rep.Endpoints[0]
+	if ep.ReplicaSeconds <= 0 {
+		t.Fatalf("replay reported no replica-seconds: %+v", ep)
+	}
+	if ep.Scaling == "" || ep.Admission == "" {
+		t.Fatalf("replay missing policy names: %+v", ep)
 	}
 }
 

@@ -1,0 +1,101 @@
+// Command benchjson runs the serving-layer benchmark (the same workload as
+// BenchmarkServiceReplay) through testing.Benchmark and writes a BENCH_N
+// JSON file: wall-clock ns/op plus the replay's measured report stats, so
+// every PR can append a point to the perf trajectory without parsing go
+// test output.
+//
+// Usage:
+//
+//	go run ./tools/benchjson [-out BENCH_1.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"fsdinference"
+)
+
+type benchReport struct {
+	Benchmark  string `json:"benchmark"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	Iterations int    `json:"iterations"`
+
+	// Replay-report stats of the benchmarked workload (deterministic).
+	Queries      int     `json:"queries"`
+	Samples      int     `json:"samples"`
+	Failed       int     `json:"failed"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	TotalCostUSD float64 `json:"total_cost_usd"`
+	ColdStarts   int     `json:"cold_starts"`
+	WarmStarts   int     `json:"warm_starts"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output path")
+	flag.Parse()
+
+	mSmall, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(128, 6, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mLarge, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := fsdinference.WorkloadDay(40*8, []int{128, 256}, 8, 7)
+
+	var rep *fsdinference.ServiceReport
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc, err := fsdinference.NewService(fsdinference.NewEnv(),
+				fsdinference.WithEndpoint("small", mSmall),
+				fsdinference.WithEndpoint("large", mLarge),
+				fsdinference.WithCoalescing(64, 200*time.Millisecond),
+				fsdinference.WithReplicas(2),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := svc.Replay(trace, fsdinference.ReplayOptions{Seed: 11})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep = r
+		}
+	})
+	if rep == nil {
+		log.Fatal("benchmark produced no report")
+	}
+
+	br := benchReport{
+		Benchmark:    "BenchmarkServiceReplay",
+		NsPerOp:      res.NsPerOp(),
+		Iterations:   res.N,
+		Queries:      rep.Queries,
+		Samples:      rep.Samples,
+		Failed:       rep.Failed,
+		P50Ms:        float64(rep.Latency.P50) / float64(time.Millisecond),
+		P95Ms:        float64(rep.Latency.P95) / float64(time.Millisecond),
+		P99Ms:        float64(rep.Latency.P99) / float64(time.Millisecond),
+		TotalCostUSD: rep.TotalCost.Total(),
+		ColdStarts:   rep.ColdStarts,
+		WarmStarts:   rep.WarmStarts,
+	}
+	data, err := json.MarshalIndent(br, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s\n", *out, data)
+}
