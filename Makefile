@@ -1,5 +1,10 @@
 # Tier-1 verification: formatting, static checks, build, tests.
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test bench bench-guard
+
+# BENCH_N is this PR's point on the perf trajectory: bump it each PR so
+# `make bench` appends a new BENCH_N.json and benchguard compares it
+# against the previous one.
+BENCH_N := 2
 
 check: fmt vet build test
 
@@ -16,6 +21,12 @@ build:
 test:
 	go test ./...
 
-bench:
+bench: bench-guard
 	go test -bench . -benchtime 1x .
-	go run ./tools/benchjson -out BENCH_1.json
+
+# bench-guard appends this PR's perf-trajectory point and fails on a >25%
+# serving-replay ns/op regression against the previous BENCH_*.json. CI
+# runs this target, so the BENCH_N filename has a single source of truth.
+bench-guard:
+	go run ./tools/benchjson -out BENCH_$(BENCH_N).json
+	go run ./tools/benchguard -new BENCH_$(BENCH_N).json

@@ -60,6 +60,7 @@ func benchExperiment(b *testing.B, id string) {
 func BenchmarkFig4DailyCost(b *testing.B)      { benchExperiment(b, "fig4") }
 func BenchmarkFig5QueryLatency(b *testing.B)   { benchExperiment(b, "fig5") }
 func BenchmarkFig6Scaling(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkChannelComparison(b *testing.B)  { benchExperiment(b, "channels") }
 func BenchmarkTable2PerSample(b *testing.B)    { benchExperiment(b, "table2") }
 func BenchmarkTable3Partitioning(b *testing.B) { benchExperiment(b, "table3") }
 func BenchmarkCostValidation(b *testing.B)     { benchExperiment(b, "costval") }

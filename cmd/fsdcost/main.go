@@ -20,6 +20,7 @@ func main() {
 	layers := flag.Int("layers", 120, "layer count")
 	workers := flag.Int("workers", 42, "worker parallelism")
 	batch := flag.Int("batch", 10000, "samples per request")
+	queries := flag.Int64("queries", 0, "expected queries per day (0 = unknown/sporadic)")
 	flag.Parse()
 
 	nnz := int64(*neurons) * 32 * int64(*layers)
@@ -37,6 +38,7 @@ func main() {
 		BytesPerPairPerLayer: bytesPerPair,
 		PairsPerLayer:        int64(*workers) * 6,
 		Layers:               *layers,
+		QueriesPerDay:        *queries,
 	}
 	adv := cost.Recommend(w)
 	fmt.Printf("workload: N=%d L=%d P=%d batch=%d (model %d MB raw)\n",
@@ -54,4 +56,9 @@ func main() {
 		fmt.Printf("%12d  %12.6f  %12.6f  %8.3f\n", bytes, q, o, q/o)
 	}
 	fmt.Println("\nqueue API requests are ~1 OOM cheaper until volumes saturate publish capacity (§IV-C)")
+
+	be := cost.MemoryBreakEvenQueriesPerDay(cat, w)
+	fmt.Printf("\nprovisioned memory store: $%.2f/day flat (no per-request charge), break-even ~%d queries/day\n",
+		cost.MemoryDailyCost(cat, w), be)
+	fmt.Println("below the break-even the node bills while idle — the sporadic-workload killer (§II-D)")
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	fsdinfer [-neurons N] [-layers L] [-workers P] [-batch B]
-//	         [-channel serial|queue|object] [-scheme block|random|hgp]
+//	         [-channel serial|queue|object|memory] [-scheme block|random|hgp]
 //	         [-verify]
 package main
 
@@ -21,7 +21,7 @@ func main() {
 	layers := flag.Int("layers", 24, "layer count")
 	workers := flag.Int("workers", 8, "FaaS worker parallelism")
 	batch := flag.Int("batch", 64, "samples per request")
-	channel := flag.String("channel", "queue", "communication channel: serial, queue or object")
+	channel := flag.String("channel", "queue", "communication channel: serial, queue, object or memory")
 	scheme := flag.String("scheme", "hgp", "partitioning: block, random or hgp")
 	seed := flag.Int64("seed", 1, "generation seed")
 	verify := flag.Bool("verify", true, "check the output against reference inference")
@@ -35,6 +35,8 @@ func main() {
 		kind = fsdinference.Queue
 	case "object":
 		kind = fsdinference.Object
+	case "memory":
+		kind = fsdinference.Memory
 	default:
 		fatal("unknown channel %q", *channel)
 	}

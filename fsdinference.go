@@ -26,6 +26,7 @@ import (
 
 	"fsdinference/internal/baselines"
 	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/cloud/pricing"
 	"fsdinference/internal/core"
 	"fsdinference/internal/cost"
 	"fsdinference/internal/experiments"
@@ -123,12 +124,18 @@ type (
 	LaunchMode = core.LaunchMode
 )
 
-// Communication variants (paper §III).
+// Communication variants (paper §III, plus the provisioned in-memory
+// store of §II-D: memory-speed ops billed by node-hour, not per request).
 const (
 	Serial = core.Serial
 	Queue  = core.Queue
 	Object = core.Object
+	Memory = core.Memory
 )
+
+// DefaultKVNodeType is the provisioned store node the Memory channel uses
+// unless Config.KVNodeType overrides it.
+const DefaultKVNodeType = core.DefaultKVNodeType
 
 // Launch mechanisms (paper §III and the launch ablation).
 const (
@@ -411,6 +418,19 @@ type (
 // Recommend selects a communication channel per the paper's §IV-C design
 // recommendations.
 func Recommend(w CostWorkload) CostAdvice { return cost.Recommend(w) }
+
+// MemoryDailyCost returns the provisioned memory store's flat daily spend
+// for the workload under the default price catalogue — 24 node-hours,
+// idle or busy, with no per-request term.
+func MemoryDailyCost(w CostWorkload) float64 {
+	return cost.MemoryDailyCost(pricing.Default(), w)
+}
+
+// MemoryBreakEvenQueriesPerDay returns the daily query volume above which
+// the provisioned memory store undercuts the per-request channels.
+func MemoryBreakEvenQueriesPerDay(w CostWorkload) int64 {
+	return cost.MemoryBreakEvenQueriesPerDay(pricing.Default(), w)
+}
 
 // Experiments (paper §VI).
 type (

@@ -8,6 +8,7 @@ package env
 import (
 	"fsdinference/internal/cloud/ec2"
 	"fsdinference/internal/cloud/faas"
+	"fsdinference/internal/cloud/kvstore"
 	"fsdinference/internal/cloud/pricing"
 	"fsdinference/internal/cloud/s3"
 	"fsdinference/internal/cloud/sns"
@@ -23,6 +24,7 @@ type Config struct {
 	SQS     sqs.Config
 	S3      s3.Config
 	EC2     ec2.Config
+	KV      kvstore.Config
 	Pricing pricing.Catalog
 }
 
@@ -34,6 +36,7 @@ func DefaultConfig() Config {
 		SQS:     sqs.DefaultConfig(),
 		S3:      s3.DefaultConfig(),
 		EC2:     ec2.DefaultConfig(),
+		KV:      kvstore.DefaultConfig(),
 		Pricing: pricing.Default(),
 	}
 }
@@ -47,6 +50,7 @@ type Env struct {
 	SQS     *sqs.Service
 	S3      *s3.Service
 	EC2     *ec2.Service
+	KV      *kvstore.Service
 	Pricing pricing.Catalog
 }
 
@@ -62,6 +66,7 @@ func New(cfg Config) *Env {
 		SQS:     sqs.New(k, m, cfg.SQS),
 		S3:      s3.New(k, m, cfg.S3),
 		EC2:     ec2.New(k, m, cfg.EC2),
+		KV:      kvstore.New(k, m, cfg.KV),
 		Pricing: cfg.Pricing,
 	}
 }

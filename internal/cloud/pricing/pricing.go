@@ -40,6 +40,14 @@ type Catalog struct {
 	// EC2Hourly maps instance type to on-demand hourly price, for the
 	// server-based baselines (paper §VI-A2).
 	EC2Hourly map[string]float64
+
+	// KVNodeHourly maps provisioned in-memory store node types
+	// (ElastiCache-like) to their on-demand hourly price. Memory-channel
+	// communication carries no per-request charge at all — the node bills
+	// by the hour whether it serves traffic or sits idle, which is the
+	// provisioned-versus-per-request tradeoff the paper cites when ruling
+	// memory stores out for sporadic workloads.
+	KVNodeHourly map[string]float64
 }
 
 // PublishIncrement is the SNS billing increment: each started 64 KiB chunk
@@ -62,6 +70,11 @@ func Default() Catalog {
 			"c5.2xlarge":  0.34,
 			"c5.9xlarge":  1.53,
 			"c5.12xlarge": 2.04,
+		},
+		KVNodeHourly: map[string]float64{
+			"cache.t3.small":  0.034,
+			"cache.m6g.large": 0.149,
+			"cache.r6g.large": 0.2016,
 		},
 	}
 }

@@ -122,6 +122,20 @@ func (s *Service) CreateTopic(name string) *Topic {
 // Topic returns the named topic, or nil if it does not exist.
 func (s *Service) Topic(name string) *Topic { return s.topics[name] }
 
+// NumSubscriptions returns the live subscription count across all topics
+// (test/metrics helper): per-run subscriptions must unwind to zero once
+// their runs end.
+func (s *Service) NumSubscriptions() int {
+	total := 0
+	for _, t := range s.topics {
+		total += len(t.subs)
+	}
+	return total
+}
+
+// NumSubscriptions returns this topic's live subscription count.
+func (t *Topic) NumSubscriptions() int { return len(t.subs) }
+
 // Name returns the topic name.
 func (t *Topic) Name() string { return t.name }
 

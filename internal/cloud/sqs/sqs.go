@@ -150,6 +150,11 @@ func (s *Service) CreateQueue(name string) *Queue {
 // Queue returns the named queue, or nil if it does not exist.
 func (s *Service) Queue(name string) *Queue { return s.queues[name] }
 
+// NumQueues returns the number of live queues (test/metrics helper): a
+// long-lived deployment that tears its per-run queues down correctly
+// returns to its baseline after every run.
+func (s *Service) NumQueues() int { return len(s.queues) }
+
 // DeleteQueue removes the named queue (free control-plane operation, like
 // CreateQueue). Messages still held by the queue are discarded. Deleting a
 // queue that does not exist is a no-op.

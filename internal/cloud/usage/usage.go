@@ -42,16 +42,34 @@ type Meter struct {
 
 	// EC2.
 	EC2Hours map[string]float64
+
+	// KV (provisioned in-memory store). Operations and bytes are metered
+	// for usage reports but carry no per-request price; the billed line
+	// item is the provisioned node-hours, accrued idle or busy.
+	KVOps       int64
+	KVBytesIn   int64
+	KVBytesOut  int64
+	KVGBHours   float64
+	KVNodeHours map[string]float64
 }
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
-	return &Meter{EC2Hours: make(map[string]float64)}
+	return &Meter{
+		EC2Hours:    make(map[string]float64),
+		KVNodeHours: make(map[string]float64),
+	}
 }
 
 // AddEC2Hours records h hours of usage for the given instance type.
 func (m *Meter) AddEC2Hours(instanceType string, h float64) {
 	m.EC2Hours[instanceType] += h
+}
+
+// AddKVNodeHours records h provisioned hours for the given cache node
+// type.
+func (m *Meter) AddKVNodeHours(nodeType string, h float64) {
+	m.KVNodeHours[nodeType] += h
 }
 
 // SQSRequests returns Q, the billed queueing API request count.
@@ -70,6 +88,10 @@ func (m *Meter) Snapshot() Meter {
 	c.EC2Hours = make(map[string]float64, len(m.EC2Hours))
 	for k, v := range m.EC2Hours {
 		c.EC2Hours[k] = v
+	}
+	c.KVNodeHours = make(map[string]float64, len(m.KVNodeHours))
+	for k, v := range m.KVNodeHours {
+		c.KVNodeHours[k] = v
 	}
 	return c
 }
@@ -91,8 +113,15 @@ func (m *Meter) Sub(prev Meter) Meter {
 	d.S3ListCalls -= prev.S3ListCalls
 	d.S3BytesIn -= prev.S3BytesIn
 	d.S3BytesOut -= prev.S3BytesOut
+	d.KVOps -= prev.KVOps
+	d.KVBytesIn -= prev.KVBytesIn
+	d.KVBytesOut -= prev.KVBytesOut
+	d.KVGBHours -= prev.KVGBHours
 	for k, v := range prev.EC2Hours {
 		d.EC2Hours[k] -= v
+	}
+	for k, v := range prev.KVNodeHours {
+		d.KVNodeHours[k] -= v
 	}
 	return d
 }
@@ -105,20 +134,27 @@ type Breakdown struct {
 	SQS    float64
 	S3     float64
 	EC2    float64
+	// KV is the provisioned in-memory store spend (node-hours; no
+	// per-request component).
+	KV float64
 }
 
 // Comms returns the communication cost (everything except compute).
-func (b Breakdown) Comms() float64 { return b.SNS + b.SQS + b.S3 }
+func (b Breakdown) Comms() float64 { return b.SNS + b.SQS + b.S3 + b.KV }
 
 // Total returns the full billed cost.
-func (b Breakdown) Total() float64 { return b.Lambda + b.SNS + b.SQS + b.S3 + b.EC2 }
+func (b Breakdown) Total() float64 { return b.Lambda + b.SNS + b.SQS + b.S3 + b.EC2 + b.KV }
 
 // String formats the breakdown as a compact dollar report.
 func (b Breakdown) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "compute $%.4f", b.Lambda+b.EC2)
 	fmt.Fprintf(&sb, ", comms $%.4f", b.Comms())
-	fmt.Fprintf(&sb, " (SNS $%.4f, SQS $%.4f, S3 $%.4f)", b.SNS, b.SQS, b.S3)
+	fmt.Fprintf(&sb, " (SNS $%.4f, SQS $%.4f, S3 $%.4f", b.SNS, b.SQS, b.S3)
+	if b.KV != 0 {
+		fmt.Fprintf(&sb, ", KV $%.4f", b.KV)
+	}
+	sb.WriteString(")")
 	fmt.Fprintf(&sb, ", total $%.4f", b.Total())
 	return sb.String()
 }
@@ -136,6 +172,9 @@ func (m *Meter) Cost(c pricing.Catalog) Breakdown {
 		float64(m.S3ListCalls)*c.S3List
 	for typ, h := range m.EC2Hours {
 		b.EC2 += h * c.EC2Hourly[typ]
+	}
+	for typ, h := range m.KVNodeHours {
+		b.KV += h * c.KVNodeHourly[typ]
 	}
 	return b
 }

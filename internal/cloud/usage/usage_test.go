@@ -20,6 +20,7 @@ func TestCostBreakdown(t *testing.T) {
 	m.S3GetCalls = 10000
 	m.S3ListCalls = 2000
 	m.AddEC2Hours("c5.2xlarge", 10)
+	m.AddKVNodeHours("cache.m6g.large", 24)
 
 	b := m.Cost(pricing.Default())
 	approx := func(got, want float64, what string) {
@@ -32,8 +33,9 @@ func TestCostBreakdown(t *testing.T) {
 	approx(b.SQS, 0.40, "SQS")
 	approx(b.S3, 1000*0.005/1e3+10000*0.0004/1e3+2000*0.005/1e3, "S3")
 	approx(b.EC2, 3.4, "EC2")
-	approx(b.Total(), b.Lambda+b.SNS+b.SQS+b.S3+b.EC2, "Total")
-	approx(b.Comms(), b.SNS+b.SQS+b.S3, "Comms")
+	approx(b.KV, 24*0.149, "KV")
+	approx(b.Total(), b.Lambda+b.SNS+b.SQS+b.S3+b.EC2+b.KV, "Total")
+	approx(b.Comms(), b.SNS+b.SQS+b.S3+b.KV, "Comms")
 }
 
 func TestSQSFanoutBillingToggle(t *testing.T) {

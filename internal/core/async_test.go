@@ -117,10 +117,64 @@ func TestOverlappingQueueRunsOnOneDeployment(t *testing.T) {
 	}
 }
 
+// Per-run keyspace isolation: two Memory-channel runs started on ONE
+// deployment must overlap in virtual time, both produce reference
+// outputs, and leave no keys behind — the memory channel composes with
+// run multiplexing exactly like the run-partitioned queues.
+func TestOverlappingMemoryRunsOnOneDeployment(t *testing.T) {
+	e := env.NewDefault()
+	m, err := model.Generate(model.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.BuildPlan(m, 3, partition.HGPDNN, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Deploy(e, Config{Model: m, Plan: plan, Channel: Memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inA := model.GenerateInputs(256, 8, 0.2, 2)
+	inB := model.GenerateInputs(256, 8, 0.2, 3)
+	type out struct {
+		res *Result
+		err error
+		end time.Duration
+	}
+	var a, b out
+	if _, err := d.Start(inA, func(r *Result, err error) { a = out{r, err, e.K.Now()} }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Start(inB, func(r *Result, err error) { b = out{r, err, e.K.Now()} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.err != nil || b.err != nil {
+		t.Fatalf("run errors: a=%v b=%v", a.err, b.err)
+	}
+	if !model.OutputsClose(a.res.Output, model.Reference(m, inA), 1e-2) {
+		t.Fatal("run A output diverges from reference")
+	}
+	if !model.OutputsClose(b.res.Output, model.Reference(m, inB), 1e-2) {
+		t.Fatal("run B output diverges from reference")
+	}
+	if b.end >= a.res.Latency+b.res.Latency {
+		t.Fatalf("runs serialised: B finished at %v, latencies %v + %v",
+			b.end, a.res.Latency, b.res.Latency)
+	}
+	if n := e.KV.NumKeys(); n != 0 {
+		t.Fatalf("%d keys left after overlapping runs", n)
+	}
+}
+
 // Reconstructed per-run usage (the asynchronous path's Usage/Cost) must
 // track the exact metered window when runs do not overlap.
 func TestAsyncUsageReconstructionMatchesMeter(t *testing.T) {
-	for _, kind := range []ChannelKind{Serial, Queue, Object} {
+	for _, kind := range []ChannelKind{Serial, Queue, Object, Memory} {
 		d, _, input := testSetup(t, 128, 6, 4, kind, nil)
 		snap := d.Env.Meter.Snapshot()
 		var res *Result
@@ -142,6 +196,7 @@ func TestAsyncUsageReconstructionMatchesMeter(t *testing.T) {
 			{rec.SNS, metered.SNS},
 			{rec.SQS, metered.SQS},
 			{rec.S3, metered.S3},
+			{rec.KV, metered.KV},
 		} {
 			diff := pair[0] - pair[1]
 			if diff < 0 {

@@ -75,8 +75,8 @@ func (o AutoSelectOptions) withDefaults() AutoSelectOptions {
 }
 
 // AutoSelect trials serial execution (when the model fits a single
-// instance) plus queue and object channels across the worker grid, and
-// returns the candidate minimising
+// instance) plus queue, object and provisioned-memory channels across the
+// worker grid, and returns the candidate minimising
 //
 //	LatencyWeight·(latency/minLatency) + (1-LatencyWeight)·(cost/minCost).
 //
@@ -97,7 +97,8 @@ func AutoSelect(m *model.Model, opts AutoSelectOptions) (*Selection, error) {
 		}
 		cands = append(cands,
 			Candidate{Channel: Queue, Workers: p},
-			Candidate{Channel: Object, Workers: p})
+			Candidate{Channel: Object, Workers: p},
+			Candidate{Channel: Memory, Workers: p})
 	}
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("core: no feasible candidates for N=%d", m.Spec.Neurons)

@@ -32,8 +32,17 @@ func TestAutoSelectPicksSerialForSmallLatencyFocusedModels(t *testing.T) {
 	if sel.Best.Channel != Serial {
 		t.Fatalf("selected %v P=%d, want serial", sel.Best.Channel, sel.Best.Workers)
 	}
-	if len(sel.Trials) != 1+2*2 {
-		t.Fatalf("trials = %d, want serial + 2 channels x 2 P", len(sel.Trials))
+	if len(sel.Trials) != 1+3*2 {
+		t.Fatalf("trials = %d, want serial + 3 channels x 2 P", len(sel.Trials))
+	}
+	memTrials := 0
+	for _, tr := range sel.Trials {
+		if tr.Candidate.Channel == Memory {
+			memTrials++
+		}
+	}
+	if memTrials != 2 {
+		t.Fatalf("memory-channel trials = %d, want one per worker count", memTrials)
 	}
 	// The returned config must deploy and run.
 	d, err := Deploy(env.NewDefault(), sel.Config)

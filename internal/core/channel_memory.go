@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"time"
+
+	"fsdinference/internal/cloud/kvstore"
+	"fsdinference/internal/sim"
+	"fsdinference/internal/wire"
+)
+
+// memoryChannel implements FSD-Inf-Memory: workers exchange row sets
+// through a provisioned in-memory key-value store (ElastiCache/Redis
+// class) instead of pub-sub queues or object storage. Every worker owns a
+// per-run inbox list "{run}/inbox/{m}" on one of the deployment's cache
+// nodes; senders RPUSH one framed value per (target, layer) — the store's
+// value cap is far above the 256 KB pub-sub ceiling, so no chunking — and
+// receivers BLPOP their inbox, buffering values for phases they have not
+// reached yet. Keys are run-scoped, so any number of runs overlap on one
+// deployment, and each push refreshes a TTL so an aborted run's keyspace
+// expires on its own; normal completion tears the keyspace down
+// explicitly. Latency is memory-speed (sub-millisecond ops); the bill is
+// provisioned node-hours that accrue while the deployment sits idle — no
+// per-request charge at all.
+type memoryChannel struct{}
+
+func (mc *memoryChannel) node(w *worker, target int32) *kvstore.Node {
+	return w.d.kvnodes[int(target)%len(w.d.kvnodes)]
+}
+
+func inboxKey(runID string, target int32) string {
+	return runID + "/inbox/" + strconv.Itoa(int(target))
+}
+
+// encodeMemValue frames one inbox value: a "kind:layer:src" header, a NUL
+// separator, then the wire-encoded (possibly compressed) row set.
+func encodeMemValue(kind string, layer int, src int32, body []byte) []byte {
+	header := kind + ":" + strconv.Itoa(layer) + ":" + strconv.Itoa(int(src))
+	val := make([]byte, 0, len(header)+1+len(body))
+	val = append(val, header...)
+	val = append(val, 0)
+	return append(val, body...)
+}
+
+func decodeMemValue(val []byte) (kind string, layer int, src int32, body []byte, err error) {
+	sep := bytes.IndexByte(val, 0)
+	if sep < 0 {
+		return "", 0, 0, nil, fmt.Errorf("core: malformed memory-channel value (no header)")
+	}
+	parts := bytes.SplitN(val[:sep], []byte(":"), 3)
+	if len(parts) != 3 {
+		return "", 0, 0, nil, fmt.Errorf("core: malformed memory-channel header %q", val[:sep])
+	}
+	layer, err = strconv.Atoi(string(parts[1]))
+	if err != nil {
+		return "", 0, 0, nil, fmt.Errorf("core: malformed memory-channel layer: %w", err)
+	}
+	src64, err := strconv.Atoi(string(parts[2]))
+	if err != nil {
+		return "", 0, 0, nil, fmt.Errorf("core: malformed memory-channel source: %w", err)
+	}
+	return string(parts[0]), layer, int32(src64), val[sep+1:], nil
+}
+
+// push encodes one (target, rows) entry and appends it to the target's
+// inbox list, refreshing the run keyspace TTL. Even an empty row set is
+// pushed so the target learns the transfer is complete.
+func (mc *memoryChannel) push(w *worker, kind string, layer int, target int32, rs *wire.RowSet) (func(p *sim.Proc) error, error) {
+	if w.d.Cfg.Compress && rs.Len() > 0 {
+		w.ctx.Compress(rs.RawBytes())
+	}
+	body, err := wire.Encode(rs, w.d.Cfg.Compress)
+	if err != nil {
+		return nil, err
+	}
+	val := encodeMemValue(kind, layer, w.id, body)
+	w.metrics.BytesSent += int64(len(body))
+	w.metrics.MessagesSent++
+	w.metrics.Publishes++
+	node := mc.node(w, target)
+	key := inboxKey(w.run.id, target)
+	ttl := w.d.Cfg.FunctionTimeout
+	return func(p *sim.Proc) error { return node.RPush(p, key, val, ttl) }, nil
+}
+
+func (mc *memoryChannel) send(w *worker, layer int, outs []targetRows) error {
+	tasks := make([]func(p *sim.Proc) error, 0, len(outs))
+	for _, out := range outs {
+		task, err := mc.push(w, "data", layer, out.target, out.rs)
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, task)
+	}
+	return w.threads("push", tasks)
+}
+
+func (mc *memoryChannel) receive(w *worker, layer int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error {
+	return mc.collect(w, "data", layer, sources, deliver)
+}
+
+// blockWait is the BLPOP block per receive-loop iteration. Blocking reads
+// are native to the store (no long-vs-short polling ablation applies), so
+// the wait is fixed rather than taken from Config.PollWait.
+const blockWait = time.Second
+
+// collect runs the memory-channel receive loop for any value kind: BLPOP
+// the worker's inbox, deliver matching values, and buffer values for
+// future phases (a fast upstream worker may already be pushing the next
+// layer). One value completes one source for the (kind, layer).
+func (mc *memoryChannel) collect(w *worker, kind string, layer int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error {
+	node := mc.node(w, w.id)
+	key := inboxKey(w.run.id, w.id)
+	remaining := make(map[int32]bool, len(sources))
+	for _, s := range sources {
+		remaining[s] = true
+	}
+
+	process := func(src int32, body []byte) error {
+		if !remaining[src] {
+			return nil // duplicate or foreign source
+		}
+		rs, err := w.decodePayload(body)
+		if err != nil {
+			return err
+		}
+		if deliver != nil && rs.Len() > 0 {
+			deliver(src, rs)
+		}
+		delete(remaining, src)
+		return nil
+	}
+
+	// Drain anything buffered by earlier phases first.
+	pkey := pendKey(kind, layer)
+	for _, pm := range w.pending[pkey] {
+		if err := process(pm.src, pm.body); err != nil {
+			return err
+		}
+	}
+	delete(w.pending, pkey)
+
+	for len(remaining) > 0 {
+		if w.ctx.Remaining() <= 0 {
+			return fmt.Errorf("core: worker %d out of runtime collecting %s/layer %d", w.id, kind, layer)
+		}
+		w.metrics.Polls++
+		val := node.BLPop(w.ctx.P, key, blockWait)
+		if val == nil {
+			continue
+		}
+		w.metrics.Fetches++
+		vkind, vlayer, src, body, err := decodeMemValue(val)
+		if err != nil {
+			return err
+		}
+		if vkind == kind && vlayer == layer {
+			if err := process(src, body); err != nil {
+				return err
+			}
+			continue
+		}
+		// Buffer for the phase that expects it.
+		k := pendKey(vkind, vlayer)
+		w.pending[k] = append(w.pending[k], pendingMsg{src: src, chunks: 1, seq: 0, body: body})
+	}
+	return nil
+}
+
+// barrier synchronises all workers through worker 0's inbox: non-roots
+// push a "done" value, the root gathers P-1 of them and pushes "go"
+// values back to every inbox.
+func (mc *memoryChannel) barrier(w *worker) error {
+	p := w.d.Cfg.Workers()
+	if w.id != 0 {
+		task, err := mc.push(w, "done", 0, 0, wire.NewRowSet(w.run.batch))
+		if err != nil {
+			return err
+		}
+		if err := w.threads("push", []func(*sim.Proc) error{task}); err != nil {
+			return err
+		}
+		return mc.collect(w, "go", 0, []int32{0}, nil)
+	}
+	srcs := make([]int32, 0, p-1)
+	for m := 1; m < p; m++ {
+		srcs = append(srcs, int32(m))
+	}
+	if err := mc.collect(w, "done", 0, srcs, nil); err != nil {
+		return err
+	}
+	tasks := make([]func(*sim.Proc) error, 0, p-1)
+	for m := 1; m < p; m++ {
+		task, err := mc.push(w, "go", 0, int32(m), wire.NewRowSet(w.run.batch))
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, task)
+	}
+	return w.threads("push", tasks)
+}
+
+func (mc *memoryChannel) reduceSend(w *worker, rs *wire.RowSet) error {
+	task, err := mc.push(w, "result", 0, 0, rs)
+	if err != nil {
+		return err
+	}
+	return w.threads("push", []func(*sim.Proc) error{task})
+}
+
+func (mc *memoryChannel) reduceGather(w *worker, expect int, deliver func(src int32, rs *wire.RowSet)) error {
+	srcs := make([]int32, 0, expect)
+	for m := 1; m <= expect; m++ {
+		srcs = append(srcs, int32(m))
+	}
+	return mc.collect(w, "result", 0, srcs, deliver)
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"fsdinference/internal/cloud/kvstore"
 	"fsdinference/internal/cloud/usage"
 	"fsdinference/internal/model"
 	"fsdinference/internal/partition"
@@ -38,6 +39,11 @@ const (
 	Queue
 	// Object uses object storage (FSD-Inf-Object).
 	Object
+	// Memory uses a provisioned in-memory key-value store
+	// (FSD-Inf-Memory): memory-speed list push/pop communication billed
+	// by provisioned node-hours instead of per request — the
+	// ElastiCache/Redis design the paper weighs against its channels.
+	Memory
 )
 
 // String returns the paper's name for the variant.
@@ -49,6 +55,8 @@ func (c ChannelKind) String() string {
 		return "FSD-Inf-Queue"
 	case Object:
 		return "FSD-Inf-Object"
+	case Memory:
+		return "FSD-Inf-Memory"
 	default:
 		return fmt.Sprintf("ChannelKind(%d)", int(c))
 	}
@@ -82,6 +90,10 @@ func (l LaunchMode) String() string {
 		return fmt.Sprintf("LaunchMode(%d)", int(l))
 	}
 }
+
+// DefaultKVNodeType is the provisioned in-memory store node the Memory
+// channel uses unless Config.KVNodeType overrides it.
+const DefaultKVNodeType = kvstore.DefaultNodeType
 
 // DefaultWorkerMemoryMB returns the paper's per-worker memory sizing for a
 // given neuron count (§VI-A1: 1000/1500/2000/4000 MB for N = 1024..65536),
@@ -144,6 +156,13 @@ type Config struct {
 	// (the polling ablation).
 	PollWait time.Duration
 
+	// KVNodeType sizes the provisioned in-memory store nodes (Memory
+	// channel only; default cache.m6g.large).
+	KVNodeType string
+	// KVNodes is the number of provisioned store nodes worker inboxes
+	// shard across (default 1).
+	KVNodes int
+
 	// StoreBandwidthScale multiplies the model store's transfer
 	// bandwidth (default 1). The scaled-experiment harness uses it to
 	// keep model-load time in proportion when projecting to paper scale.
@@ -175,6 +194,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Buckets <= 0 {
 		c.Buckets = 10
+	}
+	if c.KVNodeType == "" {
+		c.KVNodeType = DefaultKVNodeType
+	}
+	if c.KVNodes <= 0 {
+		c.KVNodes = 1
 	}
 	return c
 }

@@ -104,6 +104,68 @@ func TestObjectChannelMatchesReference(t *testing.T) {
 	}
 }
 
+func TestMemoryChannelMatchesReference(t *testing.T) {
+	d, m, input := testSetup(t, 128, 6, 4, Memory, nil)
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCorrect(t, m, input, res)
+	if len(res.Workers) != 4 {
+		t.Fatalf("worker metrics = %d, want 4", len(res.Workers))
+	}
+	if res.Usage.KVOps == 0 || res.Usage.KVBytesIn == 0 {
+		t.Fatalf("memory run metered no store traffic: %+v", res.Usage)
+	}
+	if res.Usage.KVGBHours <= 0 {
+		t.Fatalf("memory run metered no provisioned GB-hours: %+v", res.Usage)
+	}
+	if res.Cost.KV <= 0 {
+		t.Fatalf("memory run billed no node-hours: %+v", res.Cost)
+	}
+	if res.Usage.SNSBilledPublishes != 0 || res.Usage.SQSReceiveCalls != 0 {
+		t.Fatalf("memory run used messaging: %+v", res.Usage)
+	}
+	if res.Usage.S3PutCalls != 1 {
+		t.Fatalf("memory run S3 puts = %d, want 1 (result only)", res.Usage.S3PutCalls)
+	}
+	// No per-request KV charge exists: the whole KV bill is node-hours.
+	minBilled := d.Env.KV.Config().MinBilledDuration
+	if res.Latency < minBilled && res.Usage.KVNodeHours[d.Cfg.KVNodeType] != minBilled.Hours() {
+		t.Fatalf("metered %v node-hours, want the %v billing floor",
+			res.Usage.KVNodeHours[d.Cfg.KVNodeType], minBilled.Hours())
+	}
+}
+
+func TestMemoryChannelFasterThanQueue(t *testing.T) {
+	// The memory store answers in fractions of a millisecond where the
+	// pub-sub path pays tens of milliseconds per hop — the latency case
+	// for the channel (FMI's memory-channel observation).
+	dq, _, input := testSetup(t, 128, 6, 4, Queue, nil)
+	dm, _, _ := testSetup(t, 128, 6, 4, Memory, nil)
+	rq, err := dq.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := dm.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Latency >= rq.Latency {
+		t.Fatalf("memory latency %v not below queue %v", rm.Latency, rq.Latency)
+	}
+}
+
+func TestMemoryRunLeavesNoKeysBehind(t *testing.T) {
+	d, _, input := testSetup(t, 128, 4, 3, Memory, nil)
+	if _, err := d.Infer(input); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Env.KV.NumKeys(); n != 0 {
+		t.Fatalf("%d keys left after the run; keyspace teardown leaked", n)
+	}
+}
+
 func TestQueueAndObjectAgree(t *testing.T) {
 	dq, m, input := testSetup(t, 128, 4, 3, Queue, nil)
 	do, _, _ := testSetup(t, 128, 4, 3, Object, nil)
@@ -117,6 +179,14 @@ func TestQueueAndObjectAgree(t *testing.T) {
 	}
 	if !model.OutputsClose(rq.Output, ro.Output, 1e-3) {
 		t.Fatal("queue and object channels disagree")
+	}
+	dm, _, _ := testSetup(t, 128, 4, 3, Memory, nil)
+	rm, err := dm.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.OutputsClose(rq.Output, rm.Output, 1e-3) {
+		t.Fatal("queue and memory channels disagree")
 	}
 	_ = m
 }

@@ -8,6 +8,7 @@ import (
 
 	"fsdinference/internal/cloud/env"
 	"fsdinference/internal/cloud/faas"
+	"fsdinference/internal/cloud/kvstore"
 	"fsdinference/internal/cloud/s3"
 	"fsdinference/internal/cloud/sns"
 	"fsdinference/internal/cloud/sqs"
@@ -31,6 +32,7 @@ type Deployment struct {
 	prefix  string
 	topics  []*sns.Topic
 	buckets []*s3.Bucket
+	kvnodes []*kvstore.Node
 	store   *s3.Bucket
 
 	fnWorker      string
@@ -63,6 +65,10 @@ type runState struct {
 	coordRuntime time.Duration
 	output       *sparse.Dense
 	workerErrs   []error
+	// start and end bound the run in virtual time (client invoke to
+	// result availability); the per-run usage reconstruction uses them to
+	// attribute provisioned-capacity hours.
+	start, end time.Duration
 }
 
 var deploySeq int
@@ -108,6 +114,19 @@ func Deploy(e *env.Env, cfg Config) (*Deployment, error) {
 		d.buckets = make([]*s3.Bucket, cfg.Buckets)
 		for b := 0; b < cfg.Buckets; b++ {
 			d.buckets[b] = e.S3.CreateBucket(fmt.Sprintf("%s-bucket-%d", prefix, b))
+		}
+	}
+	if cfg.Channel == Memory {
+		// Unlike topics and buckets, provisioned cache nodes are NOT free
+		// to keep: they bill node-hours from this moment, idle or busy —
+		// the provisioned-versus-per-request tradeoff of §IV.
+		d.kvnodes = make([]*kvstore.Node, cfg.KVNodes)
+		for n := 0; n < cfg.KVNodes; n++ {
+			node, err := e.KV.Provision(fmt.Sprintf("%s-kv-%d", prefix, n), cfg.KVNodeType)
+			if err != nil {
+				return nil, err
+			}
+			d.kvnodes[n] = node
 		}
 	}
 
@@ -222,6 +241,7 @@ func (d *Deployment) Start(input *sparse.Dense, done func(*Result, error)) (stri
 		res, err := d.clientRun(p, run)
 		delete(d.runs, run.id)
 		d.unbindRunQueues(run)
+		d.dropRunKeyspace(run)
 		done(res, err)
 	})
 	return run.id, nil
@@ -261,6 +281,29 @@ func (d *Deployment) unbindRunQueues(run *runState) {
 		d.Env.SQS.DeleteQueue(q.Name())
 	}
 	run.queues = nil
+}
+
+// dropRunKeyspace tears down a Memory-channel run's key prefix on every
+// cache node (free control-plane operation, like queue teardown). Keys of
+// a run that never completes expire via their TTL instead.
+func (d *Deployment) dropRunKeyspace(run *runState) {
+	for _, n := range d.kvnodes {
+		n.DropPrefix(run.id + "/")
+	}
+}
+
+// Decommission releases the deployment's provisioned resources that bill
+// while idle — the Memory channel's cache nodes, which accrue node-hours
+// until released. Topics, queues and buckets are free to keep, so only
+// provisioned capacity needs this. Callers reclaiming a deployment (a
+// replica pool scaling down or swapping configurations) must invoke it
+// once in-flight runs have drained; the deployment must not start new
+// runs afterwards.
+func (d *Deployment) Decommission() {
+	for _, n := range d.kvnodes {
+		n.Release()
+	}
+	d.kvnodes = nil
 }
 
 // clientRun is the client-side body of one request: invoke the serial
@@ -304,6 +347,10 @@ func (d *Deployment) clientRun(p *sim.Proc, run *runState) (*Result, error) {
 		return nil, fmt.Errorf("core: run %s produced no output", run.id)
 	}
 
+	run.start, run.end = start, end
+	// Accrue provisioned-capacity billing up to the run's end, so meter
+	// snapshots taken right after the kernel drains include it.
+	d.Env.KV.Settle()
 	used := d.runUsage(run)
 	res := &Result{
 		RunID:              run.id,

@@ -26,7 +26,7 @@ func TestEngineMatchesReferenceProperty(t *testing.T) {
 		layers := 2 + rng.Intn(5)
 		batch := 1 + rng.Intn(12)
 		workers := 2 + rng.Intn(5)
-		kind := []ChannelKind{Serial, Queue, Object}[rng.Intn(3)]
+		kind := []ChannelKind{Serial, Queue, Object, Memory}[rng.Intn(4)]
 		scheme := []partition.Scheme{partition.Block, partition.Random, partition.HGPDNN}[rng.Intn(3)]
 		spec := model.GraphChallengeSpec(neurons, layers, seed)
 		spec.FanIn = 8 + rng.Intn(16)

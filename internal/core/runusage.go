@@ -49,9 +49,35 @@ func (d *Deployment) runUsage(run *runState) usage.Meter {
 			u.S3ListCalls += w.Polls
 			u.S3BytesIn += w.BytesSent
 			u.S3BytesOut += w.BytesRecv
+		case Memory:
+			u.KVOps += w.Publishes + w.Polls
+			u.KVBytesIn += w.BytesSent
+			u.KVBytesOut += w.BytesRecv
+			u.S3PutCalls += w.StorePuts
+			u.S3GetCalls += w.StoreGets
 		default:
 			u.S3PutCalls += w.StorePuts
 			u.S3GetCalls += w.StoreGets
+		}
+	}
+
+	// Provisioned capacity: the memory channel bills node-hours, not
+	// requests. A run's attributable share is its own wall time (with the
+	// service's billing floor): each run "reserves" the node for its
+	// duration, so overlapping runs each carry a full share and the
+	// ledger sum can exceed the metered node-hours — deliberately
+	// pessimistic per-run attribution of shared capacity. Idle hours
+	// between runs belong to the deployment, not to any one request;
+	// exact billing is always the metered window (Infer, Replay's
+	// TotalCost).
+	if d.Cfg.Channel == Memory {
+		dur := run.end - run.start
+		if min := d.Env.KV.Config().MinBilledDuration; dur < min {
+			dur = min
+		}
+		for _, n := range d.kvnodes {
+			u.AddKVNodeHours(n.Type().Name, dur.Hours())
+			u.KVGBHours += dur.Hours() * n.Type().MemoryGB
 		}
 	}
 	return u

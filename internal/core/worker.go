@@ -110,6 +110,8 @@ func (d *Deployment) workerHandler(ctx *faas.Ctx, payload []byte) ([]byte, error
 		w.ch = &queueChannel{}
 	case Object:
 		w.ch = &objectChannel{}
+	case Memory:
+		w.ch = &memoryChannel{}
 	default:
 		return nil, fmt.Errorf("core: worker launched with %v channel", d.Cfg.Channel)
 	}

@@ -2,6 +2,7 @@ package cost
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -145,5 +146,76 @@ func TestValidationZeroBaseline(t *testing.T) {
 	v := Validation{}
 	if !v.TotalAgrees(0.01) || !v.CommsAgree(0.01) || !v.ComputeAgrees(0.01) {
 		t.Fatal("zero-vs-zero should agree")
+	}
+}
+
+func TestRecommendMemoryForSustainedVolume(t *testing.T) {
+	// 200k queries/day at moderate per-query request volume: metered
+	// per-request charges dwarf a $3.58/day provisioned node.
+	adv := Recommend(Workload{
+		ModelBytes: 4 << 30, MemOverhead: 5.5, InstanceCapMB: 10240,
+		Workers: 42, BytesPerPairPerLayer: 100 * 1024, PairsPerLayer: 500, Layers: 120,
+		QueriesPerDay: 200_000,
+	})
+	if adv.Channel != ChannelMemory {
+		t.Fatalf("recommended %v, want memory under sustained load", adv.Channel)
+	}
+	if len(adv.Reasons) == 0 {
+		t.Fatal("no reasoning returned")
+	}
+}
+
+func TestRecommendAvoidsMemoryForSporadicVolume(t *testing.T) {
+	// 20 queries/day: the node bills while idle; queue stays cheapest and
+	// the advice records why memory lost.
+	adv := Recommend(Workload{
+		ModelBytes: 4 << 30, MemOverhead: 5.5, InstanceCapMB: 10240,
+		Workers: 42, BytesPerPairPerLayer: 100 * 1024, PairsPerLayer: 500, Layers: 120,
+		QueriesPerDay: 20,
+	})
+	if adv.Channel != ChannelQueue {
+		t.Fatalf("recommended %v, want queue on the sporadic trace", adv.Channel)
+	}
+	found := false
+	for _, r := range adv.Reasons {
+		if strings.Contains(r, "idle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("advice does not explain the idle-billing rejection: %v", adv.Reasons)
+	}
+}
+
+func TestMemoryBreakEvenSeparatesRegimes(t *testing.T) {
+	cat := pricing.Default()
+	w := Workload{
+		ModelBytes: 4 << 30, MemOverhead: 5.5, InstanceCapMB: 10240,
+		Workers: 42, BytesPerPairPerLayer: 100 * 1024, PairsPerLayer: 500, Layers: 120,
+	}
+	be := MemoryBreakEvenQueriesPerDay(cat, w)
+	if be <= 0 {
+		t.Fatalf("break-even = %d", be)
+	}
+	w.QueriesPerDay = be * 2
+	if MemoryDailyCost(cat, w) >= RequestDailyCost(cat, w) {
+		t.Fatal("memory not cheaper above break-even")
+	}
+	w.QueriesPerDay = be / 2
+	if MemoryDailyCost(cat, w) <= RequestDailyCost(cat, w) {
+		t.Fatal("memory not dearer below break-even")
+	}
+}
+
+func TestRecommendSkipsMemoryAboveValueCap(t *testing.T) {
+	// A per-pair volume above the store's 64 MB value cap cannot ride
+	// the chunk-free memory channel, however sustained the workload.
+	adv := Recommend(Workload{
+		ModelBytes: 4 << 30, MemOverhead: 5.5, InstanceCapMB: 10240,
+		Workers: 62, BytesPerPairPerLayer: 100 << 20, PairsPerLayer: 2000, Layers: 120,
+		QueriesPerDay: 200_000,
+	})
+	if adv.Channel == ChannelMemory {
+		t.Fatal("recommended memory for values above the store's value cap")
 	}
 }

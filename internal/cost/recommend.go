@@ -3,6 +3,7 @@ package cost
 import (
 	"fmt"
 
+	"fsdinference/internal/cloud/kvstore"
 	"fsdinference/internal/cloud/pricing"
 )
 
@@ -14,6 +15,7 @@ const (
 	ChannelSerial Channel = "FSD-Inf-Serial"
 	ChannelQueue  Channel = "FSD-Inf-Queue"
 	ChannelObject Channel = "FSD-Inf-Object"
+	ChannelMemory Channel = "FSD-Inf-Memory"
 )
 
 // Workload describes an inference workload for a-priori channel selection.
@@ -33,6 +35,16 @@ type Workload struct {
 	PairsPerLayer int64
 	// Layers is the layer count.
 	Layers int
+
+	// QueriesPerDay is the expected sustained request volume. 0 means
+	// unknown: the recommendation then stays within the pay-per-request
+	// channels, since a provisioned memory node bills while idle — the
+	// sporadic-workload killer the paper cites when ruling ElastiCache
+	// out (§II-D).
+	QueriesPerDay int64
+	// MemoryNodeHourly overrides the provisioned in-memory node's hourly
+	// price (0 uses the default catalogue's cache.m6g.large rate).
+	MemoryNodeHourly float64
 }
 
 // FitsSingleInstance reports whether the model fits one FaaS instance.
@@ -58,7 +70,9 @@ func (w Workload) FitsComfortably() bool {
 // instance; queue while per-pair volumes stay within a few publish payloads
 // (API requests ~1 OOM cheaper, up to 10 targets per publish, up to 10
 // sources per poll); object storage once data volumes saturate
-// pub-sub/queueing capacity.
+// pub-sub/queueing capacity; and a provisioned memory store once a known
+// sustained volume amortises its flat node-hour bill below the
+// per-request channels' metered spend.
 type Advice struct {
 	Channel Channel
 	Reasons []string
@@ -73,6 +87,48 @@ const publishCapacity = 256 * 1024
 // paper observes multiple publishes per target emerging beyond N=16384.
 const saturationChunks = 8
 
+// memoryNodeHourly resolves the provisioned node's hourly price: the
+// workload's explicit override, else the catalogue's rate for the
+// default node type deployments assume.
+func (w Workload) memoryNodeHourly(cat pricing.Catalog) float64 {
+	if w.MemoryNodeHourly > 0 {
+		return w.MemoryNodeHourly
+	}
+	return cat.KVNodeHourly[kvstore.DefaultNodeType]
+}
+
+// RequestDailyCost returns the per-request channels' daily communication
+// spend for the workload at its QueriesPerDay volume: the best of queue
+// and object API pricing per query, times the volume.
+func RequestDailyCost(cat pricing.Catalog, w Workload) float64 {
+	q, o := APICost(cat, w.PairsPerLayer, w.BytesPerPairPerLayer)
+	per := q
+	if o < per {
+		per = o
+	}
+	return per * float64(w.Layers) * float64(w.QueriesPerDay)
+}
+
+// MemoryDailyCost returns the provisioned memory store's daily spend:
+// 24 node-hours whether one query arrives or a million — there is no
+// per-request term at all.
+func MemoryDailyCost(cat pricing.Catalog, w Workload) float64 {
+	return 24 * w.memoryNodeHourly(cat)
+}
+
+// MemoryBreakEvenQueriesPerDay returns the daily query volume at which
+// the provisioned memory store's flat node cost drops below the
+// per-request channels' metered spend. Below it, idle billing makes the
+// memory store the most expensive option.
+func MemoryBreakEvenQueriesPerDay(cat pricing.Catalog, w Workload) int64 {
+	w.QueriesPerDay = 1
+	perQuery := RequestDailyCost(cat, w)
+	if perQuery <= 0 {
+		return 0
+	}
+	return int64(MemoryDailyCost(cat, w)/perQuery) + 1
+}
+
 // Recommend selects a channel for the workload.
 func Recommend(w Workload) Advice {
 	if w.FitsComfortably() {
@@ -84,9 +140,35 @@ func Recommend(w Workload) Advice {
 			},
 		}
 	}
+	// Provisioned versus per-request: with a known sustained volume, a
+	// flat-rate memory node can undercut the metered channels — and below
+	// the break-even it bills while idle, which is why the paper rules it
+	// out for sporadic workloads.
+	cat := pricing.Default()
+	var memReason string
+	// The memory channel ships one unchunked value per (pair, layer), so
+	// a per-pair volume above the store's value cap rules it out however
+	// favourable the billing.
+	memFeasible := w.BytesPerPairPerLayer <= int64(kvstore.DefaultConfig().MaxValueBytes)
+	if w.QueriesPerDay > 0 && memFeasible {
+		memDaily := MemoryDailyCost(cat, w)
+		reqDaily := RequestDailyCost(cat, w)
+		if memDaily < reqDaily {
+			return Advice{
+				Channel: ChannelMemory,
+				Reasons: []string{
+					fmt.Sprintf("sustained volume (%d queries/day) amortises the provisioned node: $%.2f/day flat vs $%.2f/day in per-request charges (break-even ~%d queries/day)",
+						w.QueriesPerDay, memDaily, reqDaily, MemoryBreakEvenQueriesPerDay(cat, w)),
+					"memory-speed ops carry no per-request price and cut per-hop latency by ~1 OOM versus pub-sub",
+				},
+			}
+		}
+		memReason = fmt.Sprintf("a provisioned memory node would bill $%.2f/day while mostly idle at %d queries/day (break-even ~%d) — the sporadic-workload killer",
+			MemoryDailyCost(cat, w), w.QueriesPerDay, MemoryBreakEvenQueriesPerDay(cat, w))
+	}
 	chunks := (w.BytesPerPairPerLayer + publishCapacity - 1) / publishCapacity
 	if chunks <= saturationChunks {
-		return Advice{
+		adv := Advice{
 			Channel: ChannelQueue,
 			Reasons: []string{
 				fmt.Sprintf("per-pair layer volume %d B needs %d publish chunk(s); pub-sub/queueing API requests are ~1 OOM cheaper and amortise up to 10 targets per publish and 10 sources per poll",
@@ -94,8 +176,12 @@ func Recommend(w Workload) Advice {
 				"queue costs grow slowly with parallelism for a given data volume",
 			},
 		}
+		if memReason != "" {
+			adv.Reasons = append(adv.Reasons, memReason)
+		}
+		return adv
 	}
-	return Advice{
+	adv := Advice{
 		Channel: ChannelObject,
 		Reasons: []string{
 			fmt.Sprintf("per-pair layer volume %d B needs %d publish chunks, saturating pub-sub payload capacity; object sizes are effectively unlimited",
@@ -103,6 +189,10 @@ func Recommend(w Workload) Advice {
 			"object storage bills per request regardless of size, so costs stay flat as volumes grow",
 		},
 	}
+	if memReason != "" {
+		adv.Reasons = append(adv.Reasons, memReason)
+	}
+	return adv
 }
 
 // APICost compares the per-layer communication API-request cost of the two

@@ -169,6 +169,7 @@ func Registry() []Runner {
 		{"fig4", "Daily cost vs query volume (Fig. 4)", Fig4DailyCost},
 		{"fig5", "Query latency by platform (Fig. 5)", Fig5QueryLatency},
 		{"fig6", "Per-sample runtime and cost vs parallelism (Fig. 6)", Fig6Scaling},
+		{"channels", "Three-way channel comparison incl. provisioned memory store", ChannelComparison},
 		{"table2", "Per-sample runtime of serverless variants (Table II)", Table2PerSample},
 		{"table3", "HGP-DNN vs random partitioning (Table III)", Table3Partitioning},
 		{"costval", "Cost model validation (Sec. VI-F)", CostValidation},

@@ -304,3 +304,31 @@ func TestTableCellLookup(t *testing.T) {
 		t.Fatal("missing column found")
 	}
 }
+
+func TestChannelComparisonRegimes(t *testing.T) {
+	// The three-way comparison must show the paper's tradeoff: the
+	// memory store is the fastest channel at every parallelism, the
+	// cheapest under sustained load, and the most expensive on the
+	// sporadic trace (idle node-hours).
+	tab := table(t, "channels")
+	for _, p := range lab.Scale.Workers {
+		key := strconv.Itoa(p)
+		qms := cellFloat(t, tab, key, "queue ms")
+		mms := cellFloat(t, tab, key, "memory ms")
+		if mms >= qms {
+			t.Fatalf("P=%d: memory %.2f ms not below queue %.2f ms", p, mms, qms)
+		}
+	}
+	for _, col := range []string{"queue $", "object $"} {
+		sporadic := cellFloat(t, tab, "sporadic(20/day)", col)
+		sustained := cellFloat(t, tab, "sustained(200k/day)", col)
+		memSporadic := cellFloat(t, tab, "sporadic(20/day)", "memory $")
+		memSustained := cellFloat(t, tab, "sustained(200k/day)", "memory $")
+		if memSporadic <= sporadic {
+			t.Fatalf("sporadic: memory $%.4f not above %s $%.4f", memSporadic, col, sporadic)
+		}
+		if memSustained >= sustained {
+			t.Fatalf("sustained: memory $%.4f not below %s $%.4f", memSustained, col, sustained)
+		}
+	}
+}

@@ -64,6 +64,10 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	}
 
 	base := s.Now()
+	// Close the provisioned-capacity accrual at the window edge, so the
+	// subtraction below charges exactly this replay's node-hours
+	// (including the hours its memory stores sit idle between queries).
+	s.env.KV.Settle()
 	meterSnap := s.env.Meter.Snapshot()
 	cold0, warm0 := s.env.FaaS.ColdStarts, s.env.FaaS.WarmStarts
 	statSnaps := make([]endpointStats, len(s.eps))
@@ -106,6 +110,7 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	for _, ep := range s.eps {
 		ep.sched.accrue(end)
 	}
+	s.env.KV.Settle()
 
 	rep := &Report{}
 	var all []time.Duration
@@ -197,6 +202,8 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	}
 	used := s.env.Meter.Sub(meterSnap)
 	rep.TotalCost = used.Cost(s.env.Pricing)
+	rep.KVGBHours = used.KVGBHours
+	rep.KVOps = used.KVOps
 	rep.ColdStarts = s.env.FaaS.ColdStarts - cold0
 	rep.WarmStarts = s.env.FaaS.WarmStarts - warm0
 	return rep, nil

@@ -140,6 +140,12 @@ type Report struct {
 	// simulated equivalent of the paper's AWS Cost & Usage report.
 	TotalCost usage.Breakdown
 
+	// KVGBHours and KVOps meter the provisioned in-memory stores over the
+	// window: GB-hours accrue while the nodes sit idle (their only billed
+	// dimension), ops are free of per-request charge.
+	KVGBHours float64
+	KVOps     int64
+
 	// ColdStarts and WarmStarts count platform-wide function instance
 	// launches during the replay.
 	ColdStarts int
@@ -180,6 +186,10 @@ func (r *Report) String() string {
 		fmt.Fprintf(&sb, "  cost (ledger): %s\n", ep.Cost.String())
 	}
 	fmt.Fprintf(&sb, "total metered cost: %s\n", r.TotalCost.String())
+	if r.KVGBHours > 0 {
+		fmt.Fprintf(&sb, "provisioned memory store: %.3f GB-hours ($%.4f), %d ops (no per-request charge)\n",
+			r.KVGBHours, r.TotalCost.KV, r.KVOps)
+	}
 	fmt.Fprintf(&sb, "instance starts: %d cold / %d warm\n", r.ColdStarts, r.WarmStarts)
 	return sb.String()
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -146,6 +147,179 @@ func TestDeadlineRerouteMovesRequestToSiblingEndpoint(t *testing.T) {
 	}
 	if a := svc.byName["a"]; a.stats.Rerouted != 1 || a.stats.Shed != 0 {
 		t.Fatalf("endpoint a rerouted=%d shed=%d, want 1/0", a.stats.Rerouted, a.stats.Shed)
+	}
+}
+
+func TestDeadlineReroutePicksLeastLoadedSibling(t *testing.T) {
+	// Three endpoints serving the same model size. "a" is blocked by a
+	// filler; "b" — the FIRST sibling in registration order — is
+	// saturated with a deep backlog; "c" is idle. A tight-deadline
+	// request shed from "a" must land on "c", not on "b" where it would
+	// only queue behind the backlog (load-aware rerouting, not
+	// first-sibling).
+	m := testModel(t, 128, 6)
+	svc, err := NewService(env.NewDefault(),
+		WithEndpoint("a", m, WithEndpointAdmission(DeadlineAdmission(true))),
+		WithEndpoint("b", m),
+		WithEndpoint("c", m),
+		WithCoalescing(4, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillerA := svc.Submit("a", model.GenerateInputs(128, 4, 0.2, 2), 0)
+	// Saturate b: one run in flight plus a backlog that outlives a's
+	// filler (4-sample batches cannot merge under maxBatch 4).
+	var fillersB []*Handle
+	for i := 0; i < 4; i++ {
+		fillersB = append(fillersB, svc.Submit("b", model.GenerateInputs(128, 4, 0.2, int64(10+i)), 0))
+	}
+	in := model.GenerateInputs(128, 4, 0.2, 3)
+	urgent := svc.SubmitWith("a", in, 1*time.Millisecond, SubmitOptions{Deadline: 3 * time.Millisecond})
+	if err := svc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fillerA.Wait(); err != nil {
+		t.Fatalf("filler on a failed: %v", err)
+	}
+	for i, h := range fillersB {
+		if _, err := h.Wait(); err != nil {
+			t.Fatalf("filler %d on b failed: %v", i, err)
+		}
+	}
+	resp, err := urgent.Wait()
+	if err != nil {
+		t.Fatalf("urgent request should have been rerouted, got: %v", err)
+	}
+	if resp.Endpoint != "c" {
+		t.Fatalf("urgent request served by %q, want the idle sibling \"c\"", resp.Endpoint)
+	}
+	if !model.OutputsClose(resp.Output, model.Reference(m, in), 1e-2) {
+		t.Fatal("rerouted request got the wrong output")
+	}
+	if a := svc.byName["a"]; a.stats.Rerouted != 1 {
+		t.Fatalf("endpoint a rerouted=%d, want 1", a.stats.Rerouted)
+	}
+}
+
+func TestOverlappingRunsTearDownQueuesAndSubscriptions(t *testing.T) {
+	// Several overlapping WithRunConcurrency runs on a Queue-channel
+	// endpoint: once they all end, the environment must hold no orphan
+	// per-run SQS queues or SNS subscriptions (sns.Unsubscribe /
+	// sqs.DeleteQueue teardown).
+	e := env.NewDefault()
+	m := testModel(t, 256, 6)
+	svc, err := NewService(e,
+		WithEndpoint("ep", m, WithChannel(core.Queue), WithWorkers(3)),
+		WithCoalescing(4, 0),
+		WithRunConcurrency(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseQueues := e.SQS.NumQueues()
+	baseSubs := e.SNS.NumSubscriptions()
+	var handles []*Handle
+	for i := 0; i < 4; i++ {
+		handles = append(handles, svc.Submit("ep", model.GenerateInputs(256, 4, 0.2, int64(2+i)), 0))
+	}
+	if err := svc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	maxConc := 0
+	for i, h := range handles {
+		if _, err := h.Wait(); err != nil {
+			t.Fatalf("run %d failed: %v", i, err)
+		}
+	}
+	if maxConc = svc.byName["ep"].stats.MaxConcurrent; maxConc < 2 {
+		t.Fatalf("runs never overlapped (max concurrent %d); teardown untested", maxConc)
+	}
+	if got := e.SQS.NumQueues(); got != baseQueues {
+		t.Fatalf("orphan SQS queues: %d live, baseline %d", got, baseQueues)
+	}
+	if got := e.SNS.NumSubscriptions(); got != baseSubs {
+		t.Fatalf("orphan SNS subscriptions: %d live, baseline %d", got, baseSubs)
+	}
+}
+
+func TestMemoryChannelEndpointServesAndMetersGBHours(t *testing.T) {
+	// A Memory-channel endpoint behind the Service: verified outputs, a
+	// replay report carrying the provisioned store's metered GB-hours,
+	// and no per-run keyspace leaks.
+	e := env.NewDefault()
+	m := testModel(t, 256, 6)
+	svc, err := NewService(e,
+		WithEndpoint("mem", m, WithChannel(core.Memory), WithWorkers(3)),
+		WithCoalescing(16, 100*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Day(8*8, []int{256}, 8, 7)
+	rep, err := svc.Replay(trace, ReplayOptions{Seed: 11, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d failed queries", rep.Failed)
+	}
+	if rep.KVGBHours <= 0 || rep.KVOps == 0 {
+		t.Fatalf("replay metered no store usage: %.3f GB-hours, %d ops", rep.KVGBHours, rep.KVOps)
+	}
+	if rep.TotalCost.KV <= 0 {
+		t.Fatalf("replay billed no node-hours: %+v", rep.TotalCost)
+	}
+	// The whole KV bill is provisioned hours: a day-long sporadic window
+	// bills ~24 node-hours however few queries arrived — the idle-billing
+	// behaviour that prices memory out of sporadic traces.
+	if got := rep.TotalCost.KV; got < 20*e.Pricing.KVNodeHourly["cache.m6g.large"] {
+		t.Fatalf("day-long window billed only $%.4f; idle hours not accrued", got)
+	}
+	if n := e.KV.NumKeys(); n != 0 {
+		t.Fatalf("%d keys left after replay", n)
+	}
+	if !strings.Contains(rep.String(), "provisioned memory store") {
+		t.Fatal("report does not surface the provisioned-store meter")
+	}
+}
+
+func TestScaleDownReleasesProvisionedMemoryNodes(t *testing.T) {
+	// An autoscaled Memory-channel endpoint: the burst grows the pool
+	// (each replica provisions a cache node), and scale-down must release
+	// the victims' nodes — an unreleased node would keep billing
+	// node-hours forever, inverting the autoscaler's cost win.
+	e := env.NewDefault()
+	m := testModel(t, 256, 6)
+	svc, err := NewService(e,
+		WithEndpoint("mem", m, WithChannel(core.Memory), WithWorkers(3)),
+		WithCoalescing(4, 0),
+		WithScaling(Autoscaler(AutoscalerOptions{Min: 1, Max: 3, IdleGrace: 5 * time.Second})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handles []*Handle
+	for i := 0; i < 3; i++ {
+		handles = append(handles, svc.Submit("mem", model.GenerateInputs(256, 4, 0.2, int64(2+i)), 0))
+	}
+	// A straggler well past the grace period forces the shrink decision.
+	handles = append(handles, svc.Submit("mem", model.GenerateInputs(256, 4, 0.2, 9), 5*time.Minute))
+	if err := svc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		if _, err := h.Wait(); err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+	}
+	ep := svc.byName["mem"]
+	if ep.stats.ScaleDowns == 0 {
+		t.Fatalf("pool never shrank (peak %d, now %d); release untested",
+			ep.stats.PeakReplicas, len(ep.sched.pool))
+	}
+	if got, want := e.KV.NumNodes(), len(ep.sched.pool); got != want {
+		t.Fatalf("%d provisioned nodes still billing for a pool of %d replicas", got, want)
 	}
 }
 

@@ -215,6 +215,9 @@ func (sc *scheduler) evaluatePool() {
 			break
 		}
 		sc.accrue(now)
+		// Release provisioned capacity (Memory-channel cache nodes) with
+		// the replica, or it would bill node-hours forever.
+		sc.pool[victim].d.Decommission()
 		sc.pool = append(sc.pool[:victim], sc.pool[victim+1:]...)
 		sc.ep.stats.ScaleDowns++
 	}
@@ -324,15 +327,12 @@ func (sc *scheduler) nextBatch() *batch {
 	return cur
 }
 
-// shed handles a policy-rejected request: offered once to another endpoint
-// serving the same model size when the policy reroutes, failed with
-// ErrShed otherwise.
+// shed handles a policy-rejected request: offered once to the least
+// loaded sibling endpoint serving the same model size when the policy
+// reroutes, failed with ErrShed otherwise.
 func (sc *scheduler) shed(r *request, now time.Duration) {
 	if sc.admission.Reroute() && !r.rerouted {
-		for _, alt := range sc.ep.svc.byNeuronsAll[sc.ep.m.Spec.Neurons] {
-			if alt == sc.ep {
-				continue
-			}
+		if alt := sc.leastLoadedSibling(); alt != nil {
 			r.rerouted = true
 			sc.ep.stats.Rerouted++
 			alt.sched.admit(r)
@@ -342,6 +342,39 @@ func (sc *scheduler) shed(r *request, now time.Duration) {
 	sc.ep.stats.Shed++
 	r.h.fail(now, fmt.Errorf("serve: endpoint %q: %w (deadline %v, now %v)",
 		sc.ep.name, ErrShed, r.deadline, now))
+}
+
+// pendingLoad is the scheduler's outstanding work — runs in flight plus
+// requests queued or still inside the coalescing window — normalised by
+// the pool's run capacity, so a big pool with one queued request reads
+// lighter than a saturated single replica.
+func (sc *scheduler) pendingLoad() float64 {
+	capacity := len(sc.pool) * sc.runConc
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return float64(sc.busyRuns+sc.queue.Len()+len(sc.window)) / float64(capacity)
+}
+
+// leastLoadedSibling returns the same-model-size endpoint with the
+// lightest load, or nil when there is no sibling. A deadline-pressed
+// request rerouted to a saturated sibling would only be shed again there;
+// steering by queue depth and in-flight runs gives it a real second
+// chance. Registration order breaks ties, so single-sibling behaviour is
+// unchanged.
+func (sc *scheduler) leastLoadedSibling() *Endpoint {
+	var best *Endpoint
+	bestLoad := 0.0
+	for _, alt := range sc.ep.svc.byNeuronsAll[sc.ep.m.Spec.Neurons] {
+		if alt == sc.ep {
+			continue
+		}
+		load := alt.sched.pendingLoad()
+		if best == nil || load < bestLoad {
+			best, bestLoad = alt, load
+		}
+	}
+	return best
 }
 
 // startRun merges the batch's inputs and begins one engine run on the
@@ -389,6 +422,7 @@ func (sc *scheduler) maybeReplace(rep *replica, now time.Duration) {
 	if err != nil {
 		panic(fmt.Sprintf("serve: endpoint %q re-selection deploy: %v", sc.ep.name, err))
 	}
+	rep.d.Decommission()
 	rep.d = d
 	rep.stale = false
 	rep.lastUsed = now
@@ -429,6 +463,7 @@ func (sc *scheduler) finishRun(rep *replica, b *batch, res *core.Result, err err
 	ep.stats.Cost.SQS += res.Cost.SQS
 	ep.stats.Cost.S3 += res.Cost.S3
 	ep.stats.Cost.EC2 += res.Cost.EC2
+	ep.stats.Cost.KV += res.Cost.KV
 	for _, w := range res.Workers {
 		if w.Warm {
 			ep.stats.WarmStarts++

@@ -315,6 +315,7 @@ func (s endpointStats) sub(prev endpointStats) endpointStats {
 	s.Cost.SQS -= prev.Cost.SQS
 	s.Cost.S3 -= prev.Cost.S3
 	s.Cost.EC2 -= prev.Cost.EC2
+	s.Cost.KV -= prev.Cost.KV
 	return s
 }
 

@@ -1,0 +1,136 @@
+// Command benchguard compares a freshly emitted BENCH_N.json against the
+// most recent previous BENCH_*.json in the same directory and fails when
+// the serving-replay ns/op regressed by more than the threshold. Together
+// with tools/benchjson it turns the per-PR BENCH_N files into an enforced
+// perf trajectory: every PR appends a point, and CI rejects a >25%
+// slowdown of the serving hot path.
+//
+// The baseline was measured on whatever machine emitted it, so a slice of
+// the threshold absorbs hardware variance; widen it with -threshold if a
+// runner class change (not code) trips the gate.
+//
+// Usage:
+//
+//	go run ./tools/benchguard [-new BENCH_2.json] [-threshold 0.25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+type benchPoint struct {
+	Benchmark string `json:"benchmark"`
+	NsPerOp   int64  `json:"ns_per_op"`
+	Queries   int    `json:"queries"`
+	Samples   int    `json:"samples"`
+	Failed    int    `json:"failed"`
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestBench returns the highest-numbered BENCH_*.json in dir, so a bare
+// benchguard run guards the newest trajectory point without duplicating
+// the Makefile's BENCH_N.
+func latestBench(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	seq, path := -1, ""
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > seq {
+			seq, path = n, filepath.Join(dir, e.Name())
+		}
+	}
+	if path == "" {
+		return "", fmt.Errorf("no BENCH_*.json found in %s", dir)
+	}
+	return path, nil
+}
+
+func read(path string) (benchPoint, error) {
+	var p benchPoint
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return p, err
+	}
+	return p, json.Unmarshal(data, &p)
+}
+
+func main() {
+	newPath := flag.String("new", "", "freshly emitted bench point (default: highest-numbered BENCH_*.json)")
+	threshold := flag.Float64("threshold", 0.25, "maximum allowed ns/op regression (fraction)")
+	flag.Parse()
+
+	if *newPath == "" {
+		latest, err := latestBench(".")
+		if err != nil {
+			log.Fatalf("benchguard: %v", err)
+		}
+		*newPath = latest
+	}
+	m := benchFile.FindStringSubmatch(filepath.Base(*newPath))
+	if m == nil {
+		log.Fatalf("benchguard: %q is not a BENCH_N.json file", *newPath)
+	}
+	newSeq, _ := strconv.Atoi(m[1])
+
+	cur, err := read(*newPath)
+	if err != nil {
+		log.Fatalf("benchguard: %v", err)
+	}
+	if cur.Failed > 0 {
+		log.Fatalf("benchguard: %s reports %d failed queries", *newPath, cur.Failed)
+	}
+
+	// The comparison baseline is the highest-numbered earlier point.
+	dir := filepath.Dir(*newPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		log.Fatalf("benchguard: %v", err)
+	}
+	prevSeq, prevPath := -1, ""
+	for _, e := range entries {
+		sm := benchFile.FindStringSubmatch(e.Name())
+		if sm == nil {
+			continue
+		}
+		seq, _ := strconv.Atoi(sm[1])
+		if seq < newSeq && seq > prevSeq {
+			prevSeq, prevPath = seq, filepath.Join(dir, e.Name())
+		}
+	}
+	if prevPath == "" {
+		fmt.Printf("benchguard: no earlier BENCH_*.json; %s starts the trajectory at %d ns/op\n",
+			*newPath, cur.NsPerOp)
+		return
+	}
+	prev, err := read(prevPath)
+	if err != nil {
+		log.Fatalf("benchguard: %v", err)
+	}
+	if prev.NsPerOp <= 0 {
+		log.Fatalf("benchguard: %s has no ns/op", prevPath)
+	}
+
+	change := float64(cur.NsPerOp-prev.NsPerOp) / float64(prev.NsPerOp)
+	fmt.Printf("benchguard: %s %d ns/op vs %s %d ns/op (%+.1f%%)\n",
+		*newPath, cur.NsPerOp, prevPath, prev.NsPerOp, 100*change)
+	if change > *threshold {
+		log.Fatalf("benchguard: serving replay regressed %.1f%% (> %.0f%% allowed)",
+			100*change, 100**threshold)
+	}
+	fmt.Println("benchguard: within budget")
+}
