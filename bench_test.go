@@ -61,6 +61,7 @@ func BenchmarkFig4DailyCost(b *testing.B)      { benchExperiment(b, "fig4") }
 func BenchmarkFig5QueryLatency(b *testing.B)   { benchExperiment(b, "fig5") }
 func BenchmarkFig6Scaling(b *testing.B)        { benchExperiment(b, "fig6") }
 func BenchmarkChannelComparison(b *testing.B)  { benchExperiment(b, "channels") }
+func BenchmarkPlannerSelection(b *testing.B)   { benchExperiment(b, "planner") }
 func BenchmarkTable2PerSample(b *testing.B)    { benchExperiment(b, "table2") }
 func BenchmarkTable3Partitioning(b *testing.B) { benchExperiment(b, "table3") }
 func BenchmarkCostValidation(b *testing.B)     { benchExperiment(b, "costval") }
@@ -177,6 +178,41 @@ func BenchmarkServiceReplay(b *testing.B) {
 		}
 		if rep.Failed != 0 {
 			b.Fatalf("%d failed queries", rep.Failed)
+		}
+	}
+}
+
+// BenchmarkPlanner measures one full Plan/Replan cycle of the
+// workload-aware planner: analytic pre-filter, probe trials for the
+// surviving candidates, then a re-plan under a sustained profile that
+// must re-score cached measurements rather than re-simulate.
+func BenchmarkPlanner(b *testing.B) {
+	m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := fsdinference.NewPlanner(m, fsdinference.PlannerOptions{
+			Objective: fsdinference.CostObjective(),
+			Grid: fsdinference.PlannerGrid{
+				Channels: []fsdinference.ChannelKind{fsdinference.Queue, fsdinference.Memory},
+				Workers:  []int{2},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := p.Plan(fsdinference.WorkloadProfile{QueriesPerDay: 20, BatchSamples: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d2, err := p.Replan(fsdinference.WorkloadProfile{QueriesPerDay: 200_000, BatchSamples: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Best.Channel == d2.Best.Channel {
+			b.Fatalf("replan did not flip the channel: %v", d.Best.Channel)
 		}
 	}
 }

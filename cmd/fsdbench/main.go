@@ -6,7 +6,9 @@
 //	fsdbench [-exp id|all] [-scale quick|default] [-list]
 //
 // Experiment ids follow the paper: fig4, fig5, fig6, table2, table3,
-// costval, plus the ablations polling, launch, compression and quota.
+// costval, plus the extensions channels (three-way channel comparison)
+// and planner (workload-aware planning vs static one-shot selection),
+// and the ablations polling, launch, compression and quota.
 package main
 
 import (

@@ -1,10 +1,12 @@
 // Command fsdcost explores the FSD-Inference cost model (§IV): it evaluates
-// the channel recommendation for a workload and prints the API-cost
-// comparison behind the paper's design guidance.
+// the channel recommendation for a workload, prints the API-cost
+// comparison behind the paper's design guidance, and previews which
+// channels the planner's analytic pre-filter would prune before paying
+// for simulated trials.
 //
 // Usage:
 //
-//	fsdcost [-neurons N] [-layers L] [-workers P] [-batch B]
+//	fsdcost [-neurons N] [-layers L] [-workers P] [-batch B] [-queries Q]
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 
 	"fsdinference/internal/cloud/pricing"
 	"fsdinference/internal/cost"
+	"fsdinference/internal/plan"
 )
 
 func main() {
@@ -61,4 +64,13 @@ func main() {
 	fmt.Printf("\nprovisioned memory store: $%.2f/day flat (no per-request charge), break-even ~%d queries/day\n",
 		cost.MemoryDailyCost(cat, w), be)
 	fmt.Println("below the break-even the node bills while idle — the sporadic-workload killer (§II-D)")
+
+	fmt.Println("\nplanner pre-filter preview (cost objective): channels pruned before simulated trials")
+	for _, v := range plan.PrefilterChannels(w) {
+		verdict := "trial"
+		if v.Pruned {
+			verdict = "prune: " + v.Reason
+		}
+		fmt.Printf("  %-16v %s\n", v.Channel, verdict)
+	}
 }

@@ -32,6 +32,7 @@ import (
 	"fsdinference/internal/experiments"
 	"fsdinference/internal/model"
 	"fsdinference/internal/partition"
+	"fsdinference/internal/plan"
 	"fsdinference/internal/serve"
 	"fsdinference/internal/sparse"
 	"fsdinference/internal/workload"
@@ -207,7 +208,7 @@ type (
 	PoolState = serve.PoolState
 	// AutoscalerOptions tunes the demand-driven scaling policy.
 	AutoscalerOptions = serve.AutoscalerOptions
-	// SLOOptions configures deploy-time AutoSelect and drift re-selection
+	// SLOOptions configures deploy-time planning and drift re-planning
 	// for an endpoint.
 	SLOOptions = serve.SLOOptions
 )
@@ -298,8 +299,10 @@ func WithEndpointRunConcurrency(n int) EndpointOption {
 }
 
 // WithSLO lets an endpoint pick its channel and worker parallelism at
-// deploy time via AutoSelect, given latency/cost priorities, and re-select
-// when the observed workload drifts.
+// deploy time via the workload-aware Planner, given latency/cost
+// priorities, and re-plan when the observed workload drifts — batch width
+// or arrival rate across the memory break-even, with the scheduler's live
+// WorkloadProfile fed into Replan.
 func WithSLO(o SLOOptions) EndpointOption { return serve.WithSLO(o) }
 
 // WithDeployOverride mutates an endpoint's deployment configuration after
@@ -342,20 +345,93 @@ func CostSeries(volumes []int, sizes []int, samplesPerQuery int, pc PlatformCost
 // the always-on flat cost, or -1 if it never does.
 func CostCrossover(rows []CostRow) int { return workload.Crossover(rows) }
 
-// Automatic configuration selection (the extension the paper names in
+// Workload-aware configuration planning (the extension the paper names in
 // §VI-D1: runtime selection of the optimal configuration given latency and
-// cost priorities).
+// cost priorities, grown into one subsystem). A Planner enumerates
+// candidates over the four channels, a worker grid and the provisioned
+// store's node catalogue, prunes the grid with the §IV analytic cost model
+// before simulated trials, and ranks the survivors under a pluggable
+// objective. Plan scores an assumed workload; Replan re-scores an observed
+// WorkloadProfile — the serving layer's scheduler emits one live, so under
+// WithSLO the memory channel's idle billing is charged at the observed
+// daily volume instead of one probe's share:
+//
+//	p, _ := fsdinference.NewPlanner(m, fsdinference.PlannerOptions{
+//		Objective: fsdinference.CostObjective(),
+//		Grid:      fsdinference.PlannerGrid{Workers: []int{8, 20}},
+//	})
+//	d, _ := p.Plan(fsdinference.WorkloadProfile{QueriesPerDay: 20})
+//	fmt.Println(d.Best, d.Pruned, "of", d.Candidates, "pruned analytically")
+//	d2, _ := p.Replan(fsdinference.WorkloadProfile{QueriesPerDay: 200000})
+//	fmt.Println(d2.Changed, d2.Best) // sustained volume flips the channel
 type (
-	// AutoSelectOptions tunes automatic configuration selection.
-	AutoSelectOptions = core.AutoSelectOptions
-	// Selection reports the chosen configuration and trial measurements.
-	Selection = core.Selection
+	// Planner selects deployment configurations for one model.
+	Planner = plan.Planner
+	// PlannerOptions configures a Planner.
+	PlannerOptions = plan.Options
+	// PlannerGrid bounds the candidate enumeration (channels, worker
+	// counts, provisioned-store node types).
+	PlannerGrid = plan.Grid
+	// PlanObjective ranks trialed candidates (lower score wins).
+	PlanObjective = plan.Objective
+	// PlanNorms carries the normalisation constants objectives score
+	// against.
+	PlanNorms = plan.Norms
+	// WorkloadProfile describes an assumed or observed workload
+	// (queries/day, batch width, arrival-rate EWMA, burstiness).
+	WorkloadProfile = plan.WorkloadProfile
+	// PlanDecision reports one Plan/Replan outcome: the pick, every
+	// trial (pruned ones with reasons), the measured memory break-even
+	// and whether the decision changed.
+	PlanDecision = plan.Decision
+	// PlanCandidate is one configuration the planner considers.
+	PlanCandidate = plan.Candidate
+	// PlanTrial is one candidate's analytic verdict or measured trial.
+	PlanTrial = plan.Trial
+	// ReplanEvent records one SLO-driven configuration change in a
+	// ServiceReport.
+	ReplanEvent = serve.ReplanEvent
 )
 
-// AutoSelect trials serial/queue/object candidates across a worker grid and
-// returns the configuration minimising a weighted latency/cost objective.
+// NewPlanner builds a workload-aware configuration planner for a model.
+func NewPlanner(m *Model, opts PlannerOptions) (*Planner, error) { return plan.New(m, opts) }
+
+// WeightedObjective blends normalised latency and cost at the given
+// latency weight in [0,1] (the legacy AutoSelect objective).
+func WeightedObjective(latencyWeight float64) PlanObjective {
+	return plan.WeightedObjective(latencyWeight)
+}
+
+// LatencyObjective ranks candidates by probe latency alone.
+func LatencyObjective() PlanObjective { return plan.LatencyObjective() }
+
+// CostObjective ranks candidates by per-query cost alone, with the memory
+// channel's node-hours amortised over the profile's daily volume.
+func CostObjective() PlanObjective { return plan.CostObjective() }
+
+// DeadlineObjective ranks deadline-feasible candidates by cost; the
+// fastest candidate wins when none meets the deadline.
+func DeadlineObjective(deadline time.Duration) PlanObjective {
+	return plan.DeadlineObjective(deadline)
+}
+
+// Legacy one-shot selection, now a thin wrapper over the Planner: the
+// weighted objective, no pre-filter, no workload profile — identical
+// picks to the pre-Planner implementation.
+type (
+	// AutoSelectOptions tunes automatic configuration selection.
+	AutoSelectOptions = plan.AutoSelectOptions
+	// Selection reports the chosen configuration and trial measurements.
+	Selection = plan.Selection
+)
+
+// AutoSelect trials serial/queue/object/memory candidates across a worker
+// grid and returns the configuration minimising a weighted latency/cost
+// objective. Workload-aware callers should prefer NewPlanner, whose
+// Plan(WorkloadProfile) amortises provisioned idle billing over the
+// observed daily volume.
 func AutoSelect(m *Model, opts AutoSelectOptions) (*Selection, error) {
-	return core.AutoSelect(m, opts)
+	return plan.AutoSelect(m, opts)
 }
 
 // DefaultWorkerMemoryMB returns the paper's worker sizing for a neuron

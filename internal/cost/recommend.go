@@ -87,6 +87,32 @@ const publishCapacity = 256 * 1024
 // paper observes multiple publishes per target emerging beyond N=16384.
 const saturationChunks = 8
 
+// PublishChunks returns the number of publish-payload chunks one
+// (source, target) pair's layer volume needs on the queue channel.
+func PublishChunks(bytesPerPair int64) int64 {
+	c := (bytesPerPair + publishCapacity - 1) / publishCapacity
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// QueueSaturated reports whether per-pair volumes chunk beyond the point
+// where the queue channel's publish amplification makes object storage
+// analytically competitive (§IV-C). Recommend and the planner's analytic
+// pre-filter share this rule so they cannot drift apart.
+func QueueSaturated(bytesPerPair int64) bool {
+	return PublishChunks(bytesPerPair) > saturationChunks
+}
+
+// MemoryValueFeasible reports whether one pair's layer volume fits a
+// single stored value of the provisioned memory store — the memory
+// channel ships unchunked values, so volumes above the cap rule it out
+// however favourable the billing.
+func MemoryValueFeasible(bytesPerPair int64) bool {
+	return bytesPerPair <= int64(kvstore.DefaultConfig().MaxValueBytes)
+}
+
 // memoryNodeHourly resolves the provisioned node's hourly price: the
 // workload's explicit override, else the catalogue's rate for the
 // default node type deployments assume.
@@ -149,7 +175,7 @@ func Recommend(w Workload) Advice {
 	// The memory channel ships one unchunked value per (pair, layer), so
 	// a per-pair volume above the store's value cap rules it out however
 	// favourable the billing.
-	memFeasible := w.BytesPerPairPerLayer <= int64(kvstore.DefaultConfig().MaxValueBytes)
+	memFeasible := MemoryValueFeasible(w.BytesPerPairPerLayer)
 	if w.QueriesPerDay > 0 && memFeasible {
 		memDaily := MemoryDailyCost(cat, w)
 		reqDaily := RequestDailyCost(cat, w)
@@ -166,8 +192,8 @@ func Recommend(w Workload) Advice {
 		memReason = fmt.Sprintf("a provisioned memory node would bill $%.2f/day while mostly idle at %d queries/day (break-even ~%d) — the sporadic-workload killer",
 			MemoryDailyCost(cat, w), w.QueriesPerDay, MemoryBreakEvenQueriesPerDay(cat, w))
 	}
-	chunks := (w.BytesPerPairPerLayer + publishCapacity - 1) / publishCapacity
-	if chunks <= saturationChunks {
+	chunks := PublishChunks(w.BytesPerPairPerLayer)
+	if !QueueSaturated(w.BytesPerPairPerLayer) {
 		adv := Advice{
 			Channel: ChannelQueue,
 			Reasons: []string{

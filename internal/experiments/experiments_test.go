@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"sync"
@@ -302,6 +303,40 @@ func TestTableCellLookup(t *testing.T) {
 	}
 	if _, ok := tab.Cell("a", "w"); ok {
 		t.Fatal("missing column found")
+	}
+}
+
+func TestPlannerBeatsStaticPicksAcrossRegimes(t *testing.T) {
+	// The acceptance bar for the workload-aware planner: drift-aware
+	// Replan beats both static one-shot AutoSelect picks on daily cost
+	// for the sporadic trace (the statics keep an idle-billing memory
+	// node the probe scoring undercounted) and matches them on the
+	// sustained trace (where the flat node rate genuinely wins).
+	tab := table(t, "planner")
+	spor := fmt.Sprintf("sporadic(%d/day) $", sporadicQueriesPerDay)
+	sus := fmt.Sprintf("sustained(%dk/day) $", sustainedQueriesPerDay/1000)
+	planSpor := cellFloat(t, tab, "planner", spor)
+	planSus := cellFloat(t, tab, "planner", sus)
+	for _, static := range []string{"static-latency", "static-cost"} {
+		sSpor := cellFloat(t, tab, static, spor)
+		sSus := cellFloat(t, tab, static, sus)
+		if planSpor >= sSpor {
+			t.Fatalf("sporadic: planner $%.4f/day does not beat %s $%.4f/day", planSpor, static, sSpor)
+		}
+		if planSus > sSus*1.001 {
+			t.Fatalf("sustained: planner $%.4f/day does not match %s $%.4f/day", planSus, static, sSus)
+		}
+	}
+	// The undercount at the heart of it: both statics hold the memory
+	// channel on the sporadic trace.
+	for _, static := range []string{"static-latency", "static-cost"} {
+		pick, ok := tab.Cell(static, "pick")
+		if !ok || !strings.Contains(pick, "Memory") {
+			t.Fatalf("%s picked %q; the probe-scored selection should keep the memory channel", static, pick)
+		}
+	}
+	if pick, _ := tab.Cell("planner", "pick"); !strings.Contains(pick, "Queue") || !strings.Contains(pick, "Memory") {
+		t.Fatalf("planner pick %q should flip queue -> memory across regimes", pick)
 	}
 }
 

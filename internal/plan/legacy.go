@@ -1,0 +1,67 @@
+package plan
+
+import (
+	"fsdinference/internal/core"
+	"fsdinference/internal/model"
+	"fsdinference/internal/partition"
+)
+
+// The legacy one-shot selection API, kept as a thin wrapper over the
+// Planner so existing callers (the facade's AutoSelect and anything built
+// on it) compile unchanged and pick identically: the weighted objective,
+// the legacy candidate grid, no analytic pre-filter and no workload
+// profile — one probe's metered cost is scored as-is, exactly as the
+// pre-Planner core.AutoSelect did. New code should use Planner.Plan with
+// a WorkloadProfile instead, which amortises the memory channel's idle
+// billing over the observed daily volume.
+
+// AutoSelectOptions tunes the legacy selection.
+type AutoSelectOptions struct {
+	// LatencyWeight in [0,1]: 1 optimises latency only, 0 cost only.
+	LatencyWeight float64
+	// Workers lists parallelism levels to trial (default 8, 20, 42, 62).
+	Workers []int
+	// ProbeBatch is the probe request size (default 32).
+	ProbeBatch int
+	// Scheme is the partitioning used for parallel candidates.
+	Scheme partition.Scheme
+	// Seed drives probe generation.
+	Seed int64
+}
+
+// Selection reports the chosen configuration and the trial measurements.
+type Selection struct {
+	Best   Candidate
+	Config core.Config
+	// Trials lists every candidate's measured probe latency and cost.
+	Trials []Trial
+}
+
+// AutoSelect trials serial execution (when the model fits a single
+// instance) plus queue, object and provisioned-memory channels across the
+// worker grid, and returns the candidate minimising
+//
+//	LatencyWeight·(latency/minLatency) + (1-LatencyWeight)·(cost/minCost).
+//
+// Trials run on fresh scratch environments; the returned Config is ready
+// to Deploy on the caller's environment.
+func AutoSelect(m *model.Model, opts AutoSelectOptions) (*Selection, error) {
+	if opts.ProbeBatch <= 0 {
+		opts.ProbeBatch = 32
+	}
+	p, err := New(m, Options{
+		Objective:        WeightedObjective(opts.LatencyWeight),
+		Grid:             Grid{Workers: opts.Workers},
+		DisablePrefilter: true,
+		Scheme:           opts.Scheme,
+		Seed:             opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.Plan(WorkloadProfile{BatchSamples: opts.ProbeBatch})
+	if err != nil {
+		return nil, err
+	}
+	return &Selection{Best: d.Best, Config: d.Config, Trials: d.Trials}, nil
+}

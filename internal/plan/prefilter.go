@@ -1,0 +1,141 @@
+package plan
+
+import (
+	"fmt"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/cloud/pricing"
+	"fsdinference/internal/core"
+	"fsdinference/internal/cost"
+)
+
+// The analytic pre-filter prunes the candidate grid with the §IV cost
+// model before any simulated trial runs. Two classes of rule apply:
+//
+//   - feasibility: a memory candidate whose per-pair volume exceeds the
+//     store's single-value cap cannot serve the workload at all;
+//   - cost dominance: for purely cost-driven objectives, a channel that
+//     the analytic model prices strictly above an alternative in every
+//     regime is dropped — the memory store below its break-even volume
+//     (idle billing), the queue channel once per-pair volumes saturate
+//     publish capacity, object storage while volumes still fit one
+//     publish chunk (queue API requests ~1 OOM cheaper, §IV-C).
+//
+// Dominance prunes only fire when the objective implements costWeighter
+// with full cost weight; latency-weighted and custom objectives keep the
+// whole grid, because analytics say nothing about their latency term.
+
+// prefilterMargin is the safety factor on the analytic memory break-even:
+// the §IV formulas price communication requests only, while trials meter
+// the whole run (compute included), so the analytic break-even
+// overestimates the measured one. A candidate is pruned only when the
+// profile's volume sits a full margin below it — a clear-cut loser;
+// anything closer is measured.
+const prefilterMargin = 10
+
+// analyticWorkload derives the §IV cost-model workload for a candidate:
+// per-pair volumes from the trial partition plan's communication stats at
+// the profile's batch width, compressed at the engine's typical ratio.
+func (p *Planner) analyticWorkload(workers, batch int, profile WorkloadProfile) (cost.Workload, error) {
+	pl, err := p.partitionPlan(workers)
+	if err != nil {
+		return cost.Workload{}, err
+	}
+	st := pl.Stats(p.m)
+	layers := len(p.m.Layers)
+	pairsPerLayer := st.Pairs
+	if layers > 0 {
+		pairsPerLayer = st.Pairs / int64(layers)
+	}
+	return cost.Workload{
+		ModelBytes:           p.m.WeightBytes(),
+		MemOverhead:          env.DefaultConfig().FaaS.Perf.MemOverheadWeights,
+		InstanceCapMB:        10240,
+		Workers:              workers,
+		BytesPerPairPerLayer: int64(st.RowsPerPair * float64(batch) * 4 * 0.6),
+		PairsPerLayer:        pairsPerLayer,
+		Layers:               layers,
+		QueriesPerDay:        profile.QueriesPerDay,
+	}, nil
+}
+
+// prefilter returns a non-empty prune reason when the candidate should
+// not be trialed, plus the analytic memory break-even for the candidate's
+// worker count (0 when not computed) so decisions can report one even
+// when the whole memory grid was pruned.
+func (p *Planner) prefilter(c Candidate, profile WorkloadProfile) (reason string, breakEven int64, err error) {
+	if c.Channel == core.Serial {
+		return "", 0, nil
+	}
+	w, err := p.analyticWorkload(c.Workers, profile.BatchSamples, profile)
+	if err != nil {
+		return "", 0, err
+	}
+	costOnly := false
+	if cw, ok := p.opts.Objective.(costWeighter); ok {
+		costOnly = cw.costWeight() >= 1
+	}
+	switch c.Channel {
+	case core.Memory:
+		if !cost.MemoryValueFeasible(w.BytesPerPairPerLayer) {
+			return fmt.Sprintf("per-pair volume %d B exceeds the store's single-value cap", w.BytesPerPairPerLayer), 0, nil
+		}
+		cat := pricing.Default()
+		if c.KVNodeType != "" {
+			w.MemoryNodeHourly = cat.KVNodeHourly[c.KVNodeType]
+		}
+		be := cost.MemoryBreakEvenQueriesPerDay(cat, w)
+		if costOnly && profile.QueriesPerDay > 0 && profile.QueriesPerDay*prefilterMargin < be {
+			return fmt.Sprintf("idle billing: %d queries/day is far below the ~%d/day break-even, so the node mostly bills idle",
+				profile.QueriesPerDay, be), be, nil
+		}
+		return "", be, nil
+	case core.Queue:
+		if costOnly && cost.QueueSaturated(w.BytesPerPairPerLayer) {
+			return fmt.Sprintf("per-pair volume %d B needs %d publish chunks, saturating pub-sub payload capacity",
+				w.BytesPerPairPerLayer, cost.PublishChunks(w.BytesPerPairPerLayer)), 0, nil
+		}
+	case core.Object:
+		if costOnly && cost.PublishChunks(w.BytesPerPairPerLayer) <= 1 {
+			return fmt.Sprintf("per-pair volume %d B fits one publish chunk; queue API requests are ~1 OOM cheaper", w.BytesPerPairPerLayer), 0, nil
+		}
+	}
+	return "", 0, nil
+}
+
+// PruneVerdict is the analytic pre-filter's outcome for one channel of a
+// workload, for analytic-only callers (cmd/fsdcost) that have no model to
+// trial.
+type PruneVerdict struct {
+	Channel core.ChannelKind
+	Pruned  bool
+	Reason  string
+}
+
+// PrefilterChannels evaluates the cost-dominance rules for an analytic
+// workload under a pure cost objective, without a model or trials: which
+// distributed channels would the planner's pre-filter prune, and why.
+func PrefilterChannels(w cost.Workload) []PruneVerdict {
+	verdicts := []PruneVerdict{
+		{Channel: core.Queue},
+		{Channel: core.Object},
+		{Channel: core.Memory},
+	}
+	if cost.QueueSaturated(w.BytesPerPairPerLayer) {
+		verdicts[0].Pruned = true
+		verdicts[0].Reason = fmt.Sprintf("%d publish chunks per pair saturate pub-sub payload capacity",
+			cost.PublishChunks(w.BytesPerPairPerLayer))
+	}
+	if cost.PublishChunks(w.BytesPerPairPerLayer) <= 1 {
+		verdicts[1].Pruned = true
+		verdicts[1].Reason = "volume fits one publish chunk; queue API requests are ~1 OOM cheaper"
+	}
+	if !cost.MemoryValueFeasible(w.BytesPerPairPerLayer) {
+		verdicts[2].Pruned = true
+		verdicts[2].Reason = "per-pair volume exceeds the store's single-value cap"
+	} else if be := cost.MemoryBreakEvenQueriesPerDay(pricing.Default(), w); w.QueriesPerDay > 0 && w.QueriesPerDay*prefilterMargin < be {
+		verdicts[2].Pruned = true
+		verdicts[2].Reason = fmt.Sprintf("idle billing far below the ~%d queries/day break-even", be)
+	}
+	return verdicts
+}

@@ -3,6 +3,9 @@ package serve
 import (
 	"fmt"
 	"time"
+
+	"fsdinference/internal/core"
+	"fsdinference/internal/plan"
 )
 
 // This file is the pluggable half of the scheduler subsystem: admission
@@ -232,23 +235,35 @@ func (a autoscaler) Target(st PoolState) int {
 func (a autoscaler) IdleGrace() time.Duration { return a.o.IdleGrace }
 
 // SLOOptions asks an endpoint to pick its own deployment configuration —
-// channel and worker parallelism — at deploy time via core.AutoSelect,
-// given latency/cost priorities (the §VI-D1 extension), and optionally to
-// re-select when the observed workload drifts from the probe assumption.
+// channel and worker parallelism — at deploy time via the workload-aware
+// Planner (the §VI-D1 extension), given latency/cost priorities, and to
+// re-plan when the observed workload drifts from the planning assumption:
+// batch width by ReselectFactor, or arrival rate across the memory
+// channel's break-even daily volume. Re-plans feed the scheduler's live
+// WorkloadProfile into Planner.Replan, so provisioned idle billing is
+// charged at the observed volume instead of one probe's share.
 type SLOOptions struct {
 	// LatencyWeight in [0,1]: 1 optimises latency only, 0 cost only.
+	// Ignored when Objective is set.
 	LatencyWeight float64
-	// Workers lists candidate parallelism levels (default: AutoSelect's
-	// grid).
+	// Objective overrides the planning objective (default: the weighted
+	// latency/cost objective at LatencyWeight).
+	Objective plan.Objective
+	// Channels restricts the candidate channels (default: serial when
+	// the model fits one instance, plus queue, object and memory).
+	Channels []core.ChannelKind
+	// Workers lists candidate parallelism levels (default: the paper's
+	// 8, 20, 42, 62 grid).
 	Workers []int
 	// ProbeBatch is the assumed request batch width used for the initial
-	// selection trials (default 32).
+	// planning trials (default 32).
 	ProbeBatch int
-	// ReselectFactor re-runs the selection when the EWMA of observed
-	// engine-run batch width drifts from the probe batch by at least this
-	// factor in either direction (values <= 1 disable re-selection).
+	// ReselectFactor re-plans when the EWMA of observed engine-run batch
+	// width drifts from the probe batch by at least this factor in
+	// either direction (values <= 1 disable the batch-drift trigger;
+	// the break-even arrival-rate trigger is always armed).
 	ReselectFactor float64
-	// MinRuns is how many runs must be observed between selections
+	// MinRuns is how many runs must be observed between re-plans
 	// (default 16).
 	MinRuns int
 	// Seed drives probe generation (default 1).

@@ -73,8 +73,11 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	statSnaps := make([]endpointStats, len(s.eps))
 	for i, ep := range s.eps {
 		// Close the replica-seconds accrual at the window edge so the
-		// subtraction below charges exactly this replay's pool time.
+		// subtraction below charges exactly this replay's pool time, and
+		// restart the workload observation window so the reported
+		// Observed profile describes this trace only.
 		ep.sched.accrue(base)
+		ep.sched.resetObservationWindow()
 		statSnaps[i] = ep.stats
 		// The high-water fields are marks, not counters: restart them so
 		// the report describes this replay's window.
@@ -153,6 +156,16 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	rep.Latency = latencyStats(all)
 	for i, ep := range s.eps {
 		st := ep.stats.sub(statSnaps[i])
+		// Re-plan events are reported trace-relative, like Horizon.
+		replans := make([]ReplanEvent, len(st.Replans))
+		for j, ev := range st.Replans {
+			ev.At -= base
+			replans[j] = ev
+		}
+		batch := 0
+		if st.Runs > 0 {
+			batch = st.RunSamples / st.Runs
+		}
 		er := EndpointReport{
 			Name:              ep.name,
 			Neurons:           ep.m.Spec.Neurons,
@@ -169,6 +182,8 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 			Rerouted:          st.Rerouted,
 			DeadlineMissed:    st.DeadlineMissed,
 			Reselections:      st.Reselections,
+			Replans:           replans,
+			Observed:          ep.sched.observedProfile(batch),
 			MaxConcurrentRuns: st.MaxConcurrent,
 			Queries:           epQueries[ep],
 			Failed:            epFailed[ep],

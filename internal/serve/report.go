@@ -8,7 +8,25 @@ import (
 
 	"fsdinference/internal/cloud/usage"
 	"fsdinference/internal/core"
+	"fsdinference/internal/plan"
 )
+
+// ReplanEvent records one SLO-driven configuration change: the planner
+// re-ran under the scheduler's observed WorkloadProfile and the best
+// channel or worker count moved.
+type ReplanEvent struct {
+	// At is the virtual time of the change (trace-relative in replay
+	// reports).
+	At time.Duration
+	// From/To describe the configuration swap.
+	From, To               core.ChannelKind
+	FromWorkers, ToWorkers int
+	// QueriesPerDay is the observed daily volume the re-plan scored
+	// against.
+	QueriesPerDay int64
+	// Reason says which drift triggered it.
+	Reason string
+}
 
 // LatencyStats summarises a latency distribution with the nearest-rank
 // percentiles the serving literature reports.
@@ -83,11 +101,16 @@ type EndpointReport struct {
 	// Shed counts requests rejected by the admission policy (ErrShed),
 	// Rerouted those it moved to a sibling endpoint, DeadlineMissed the
 	// requests that completed after their deadline. Reselections counts
-	// SLO-triggered AutoSelect re-runs.
+	// SLO-triggered planner re-runs; Replans lists the ones that changed
+	// the configuration (channel/worker swaps), in order.
 	Shed           int
 	Rerouted       int
 	DeadlineMissed int
 	Reselections   int
+	Replans        []ReplanEvent
+	// Observed is the endpoint's live workload profile as of the end of
+	// the replay — what an SLO re-plan would score against.
+	Observed plan.WorkloadProfile
 	// MaxConcurrentRuns is the largest number of engine runs observed in
 	// flight on one replica (run multiplexing high-water).
 	MaxConcurrentRuns int
@@ -178,6 +201,10 @@ func (r *Report) String() string {
 		if ep.Shed+ep.Rerouted+ep.DeadlineMissed+ep.Reselections > 0 {
 			fmt.Fprintf(&sb, "  policy: %d shed, %d rerouted, %d deadline-missed, %d reselection(s)\n",
 				ep.Shed, ep.Rerouted, ep.DeadlineMissed, ep.Reselections)
+		}
+		for _, ev := range ep.Replans {
+			fmt.Fprintf(&sb, "  replan @%v: %v x%d -> %v x%d (%s)\n",
+				ev.At.Round(time.Millisecond), ev.From, ev.FromWorkers, ev.To, ev.ToWorkers, ev.Reason)
 		}
 		fmt.Fprintf(&sb, "  latency: %s\n", fmtLatency(ep.Latency))
 		for _, pl := range ep.PerPriority {

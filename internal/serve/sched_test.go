@@ -9,6 +9,7 @@ import (
 	"fsdinference/internal/cloud/env"
 	"fsdinference/internal/core"
 	"fsdinference/internal/model"
+	"fsdinference/internal/plan"
 	"fsdinference/internal/workload"
 )
 
@@ -470,9 +471,10 @@ func TestSLOSelectsConfigurationAndReselectsOnDrift(t *testing.T) {
 		t.Fatal(err)
 	}
 	ep := svc.byName["slo"]
-	// The endpoint picked its own configuration: whatever AutoSelect
-	// chose, the deployment must match it and serve correctly.
-	want, err := core.AutoSelect(m, core.AutoSelectOptions{
+	// The endpoint picked its own configuration: whatever the legacy
+	// selection chose, the deployment must match it and serve correctly
+	// (the WithSLO back-compat guarantee).
+	want, err := plan.AutoSelect(m, plan.AutoSelectOptions{
 		LatencyWeight: 0.5, Workers: []int{2}, ProbeBatch: 4, Seed: 1,
 	})
 	if err != nil {
@@ -493,6 +495,147 @@ func TestSLOSelectsConfigurationAndReselectsOnDrift(t *testing.T) {
 	}
 	if ep.stats.Reselections == 0 {
 		t.Fatal("observed batch drifted 16x from probe but no re-selection happened")
+	}
+}
+
+// TestReplanFlipsChannelAcrossBreakEven drives an SLO endpoint through a
+// day whose arrival rate crosses the memory channel's break-even volume
+// mid-trace: a sporadic morning (queue: the provisioned node would bill
+// mostly idle), a sustained burst (the flat node rate undercuts
+// per-request charges — flip to memory), then a cool-down (flip back).
+// The ServiceReport must record both re-plan events.
+func TestReplanFlipsChannelAcrossBreakEven(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay with planner trials is a long simulation")
+	}
+	m := testModel(t, 256, 6)
+	svc, err := NewService(env.NewDefault(),
+		WithEndpoint("slo", m, WithSLO(SLOOptions{
+			LatencyWeight: 0, // cost objective: the break-even decides
+			Channels:      []core.ChannelKind{core.Queue, core.Memory},
+			Workers:       []int{2},
+			ProbeBatch:    4,
+			MinRuns:       2,
+		})),
+		WithCoalescing(4, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := svc.byName["slo"]
+	if ep.cfg.Channel != core.Queue {
+		t.Fatalf("initial pick %v, want queue (probe cost scoring)", ep.cfg.Channel)
+	}
+	be := ep.slo.decision.MemoryBreakEvenQueriesPerDay
+	if be <= 0 {
+		t.Fatal("initial decision measured no memory break-even")
+	}
+
+	var trace []workload.Query
+	add := func(at time.Duration) {
+		trace = append(trace, workload.Query{At: at, Neurons: 256, Samples: 4})
+	}
+	// Sporadic morning: one query a minute (~1440/day, far below the
+	// break-even).
+	for i := 0; i < 4; i++ {
+		add(time.Duration(i) * time.Minute)
+	}
+	// Sustained burst: ten queries a second — the EWMA arrival rate
+	// projects far above the break-even.
+	for i := 0; i < 30; i++ {
+		add(4*time.Minute + time.Duration(i)*100*time.Millisecond)
+	}
+	// Cool-down: five-minute gaps drop the projection back below.
+	for i := 0; i < 6; i++ {
+		add(10*time.Minute + time.Duration(i)*5*time.Minute)
+	}
+
+	rep, err := svc.Replay(trace, ReplayOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d failed queries", rep.Failed)
+	}
+	er := rep.Endpoints[0]
+	if len(er.Replans) < 2 {
+		t.Fatalf("replans = %d, want the ramp-up and cool-down flips:\n%s", len(er.Replans), rep)
+	}
+	up, down := er.Replans[0], er.Replans[len(er.Replans)-1]
+	if up.From != core.Queue || up.To != core.Memory {
+		t.Fatalf("ramp-up replan %v -> %v, want queue -> memory", up.From, up.To)
+	}
+	if up.QueriesPerDay < be {
+		t.Fatalf("ramp-up scored %d queries/day, below break-even %d", up.QueriesPerDay, be)
+	}
+	if down.From != core.Memory || down.To != core.Queue {
+		t.Fatalf("cool-down replan %v -> %v, want memory -> queue", down.From, down.To)
+	}
+	if down.QueriesPerDay >= be {
+		t.Fatalf("cool-down scored %d queries/day, above break-even %d", down.QueriesPerDay, be)
+	}
+	if er.Channel != core.Queue {
+		t.Fatalf("endpoint ended on %v, want queue after cool-down", er.Channel)
+	}
+	if er.Reselections < 2 {
+		t.Fatalf("reselections = %d, want >= 2", er.Reselections)
+	}
+	// The memory phase provisions a store: the replay must meter its
+	// GB-hours, and the report must surface the re-plan events.
+	if rep.KVGBHours <= 0 {
+		t.Fatal("memory phase metered no provisioned GB-hours")
+	}
+	if !strings.Contains(rep.String(), "replan @") {
+		t.Fatalf("report does not surface re-plan events:\n%s", rep)
+	}
+	if er.Observed.QueriesPerDay <= 0 || er.Observed.ArrivalRate <= 0 {
+		t.Fatalf("report carries no observed workload profile: %+v", er.Observed)
+	}
+	if er.Observed.Burstiness <= 1 {
+		t.Fatalf("bursty trace reported burstiness %.2f, want > 1", er.Observed.Burstiness)
+	}
+}
+
+// TestObservedProfileIsPerReplayWindow: every other report field is
+// windowed per replay, and the Observed workload profile must be too — a
+// bursty first trace followed by a uniform second one must not leak its
+// burstiness (or the idle gap between replays) into the second report.
+func TestObservedProfileIsPerReplayWindow(t *testing.T) {
+	m := testModel(t, 128, 6)
+	svc, err := NewService(env.NewDefault(),
+		WithEndpoint("ep", m),
+		WithCoalescing(4, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty := []workload.Query{
+		{At: 0, Neurons: 128, Samples: 4},
+		{At: 10 * time.Millisecond, Neurons: 128, Samples: 4},
+		{At: 2 * time.Hour, Neurons: 128, Samples: 4},
+	}
+	if _, err := svc.Replay(bursty, ReplayOptions{Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	var uniform []workload.Query
+	for i := 0; i < 5; i++ {
+		uniform = append(uniform, workload.Query{
+			At: time.Duration(i) * time.Minute, Neurons: 128, Samples: 4,
+		})
+	}
+	rep, err := svc.Replay(uniform, ReplayOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := rep.Endpoints[0].Observed
+	// Uniform one-minute spacing: peak and mean rates coincide. A leaked
+	// 10 ms gap from the bursty trace (or the inter-replay idle gap
+	// depressing the mean) would push this far above 1.
+	if obs.Burstiness > 1.5 {
+		t.Fatalf("uniform replay reported burstiness %.2f; window leaked earlier traffic", obs.Burstiness)
+	}
+	if obs.QueriesPerDay <= 0 {
+		t.Fatalf("observed profile missing volume: %+v", obs)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fsdinference/internal/core"
+	"fsdinference/internal/plan"
 	"fsdinference/internal/sim"
 )
 
@@ -37,11 +38,19 @@ type scheduler struct {
 	pool     []*replica
 	busyRuns int
 
-	// Workload observation for deadline shedding and autoscaling.
+	// Workload observation for deadline shedding, autoscaling and the
+	// WorkloadProfile fed to SLO re-planning.
 	estRun      time.Duration // EWMA of engine-run latency
 	lastArrival time.Duration
 	haveArrival bool
 	interEWMA   float64 // EWMA inter-arrival seconds
+	// arrivals, firstArrival and minInter describe the current
+	// observation window (reset per replay so reports are not
+	// contaminated by earlier traffic); the EWMA above is the live
+	// re-planning signal and is never reset.
+	arrivals     int
+	firstArrival time.Duration
+	minInter     float64 // smallest in-window inter-arrival gap, seconds
 
 	// Pool metering.
 	lastAccrue time.Duration
@@ -107,7 +116,14 @@ func (sc *scheduler) admit(r *request) {
 		} else {
 			sc.interEWMA = 0.75*sc.interEWMA + 0.25*dt
 		}
+		if sc.arrivals > 0 && (sc.minInter == 0 || dt < sc.minInter) {
+			sc.minInter = dt
+		}
 	}
+	if sc.arrivals == 0 {
+		sc.firstArrival = now
+	}
+	sc.arrivals++
 	sc.haveArrival = true
 	sc.lastArrival = now
 
@@ -157,6 +173,41 @@ func (sc *scheduler) arrivalRate() float64 {
 		return 0
 	}
 	return 1 / math.Max(sc.interEWMA, 1e-3)
+}
+
+// queriesPerDay projects the EWMA arrival rate to a daily query volume —
+// the number the provisioned-versus-per-request break-even is stated in.
+func (sc *scheduler) queriesPerDay() int64 {
+	return int64(sc.arrivalRate() * 86400)
+}
+
+// resetObservationWindow restarts the burstiness and mean-rate window
+// (arrivals, first arrival, minimum gap). The arrival-rate EWMA is
+// untouched: it is the live re-planning signal. Replay calls this at the
+// window edge so each report's Observed profile describes that replay's
+// traffic only.
+func (sc *scheduler) resetObservationWindow() {
+	sc.arrivals = 0
+	sc.minInter = 0
+}
+
+// observedProfile emits the endpoint's live workload profile for the
+// planner: arrival-rate EWMA, its daily-volume projection, the
+// representative batch width and the peak-to-mean burstiness of what has
+// arrived within the current observation window.
+func (sc *scheduler) observedProfile(batch int) plan.WorkloadProfile {
+	p := plan.WorkloadProfile{
+		BatchSamples:  batch,
+		ArrivalRate:   sc.arrivalRate(),
+		QueriesPerDay: sc.queriesPerDay(),
+	}
+	if sc.arrivals >= 2 && sc.minInter > 0 {
+		if elapsed := (sc.lastArrival - sc.firstArrival).Seconds(); elapsed > 0 {
+			mean := float64(sc.arrivals-1) / elapsed
+			p.Burstiness = (1 / sc.minInter) / mean
+		}
+	}
+	return p
 }
 
 func (sc *scheduler) poolState() PoolState {
@@ -249,7 +300,7 @@ func (sc *scheduler) addReplica(now time.Duration) {
 	d, err := core.Deploy(sc.ep.svc.env, sc.ep.dcfg)
 	if err != nil {
 		// The configuration was validated when the endpoint was built (and
-		// any re-selected configuration comes out of AutoSelect), so a
+		// any re-planned configuration comes out of the Planner), so a
 		// scale-up deploy cannot fail short of a programming error.
 		panic(fmt.Sprintf("serve: endpoint %q scale-up deploy: %v", sc.ep.name, err))
 	}

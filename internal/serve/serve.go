@@ -29,6 +29,7 @@ import (
 	"fsdinference/internal/core"
 	"fsdinference/internal/model"
 	"fsdinference/internal/partition"
+	"fsdinference/internal/plan"
 	"fsdinference/internal/sparse"
 )
 
@@ -188,9 +189,11 @@ func WithEndpointRunConcurrency(n int) EndpointOption {
 }
 
 // WithSLO lets the endpoint pick its own channel and worker parallelism at
-// deploy time via core.AutoSelect, given latency/cost priorities, and
-// re-select when the observed run batch width drifts (SLOOptions). It
-// conflicts with WithChannel, WithWorkers and WithPlan.
+// deploy time via the workload-aware Planner (internal/plan), given
+// latency/cost priorities, and re-plan when the observed workload drifts:
+// run batch width by ReselectFactor, or the arrival rate across the
+// memory channel's break-even volume (SLOOptions). It conflicts with
+// WithChannel, WithWorkers and WithPlan.
 func WithSLO(o SLOOptions) EndpointOption {
 	return func(ec *endpointConfig) { ec.slo = &o }
 }
@@ -237,9 +240,13 @@ type Endpoint struct {
 }
 
 // sloState tracks an SLO-configured endpoint's observed workload for
-// drift-triggered re-selection.
+// drift-triggered re-planning. The planner caches its trial measurements,
+// so a re-plan under an unchanged batch width re-scores rather than
+// re-simulates.
 type sloState struct {
 	opts       SLOOptions
+	planner    *plan.Planner
+	decision   *plan.Decision
 	probeBatch float64
 	ewmaBatch  float64
 	runs       int
@@ -294,6 +301,10 @@ type endpointStats struct {
 	MaxConcurrent  int
 	PeakReplicas   int
 	ReplicaSeconds float64
+	// Replans records every SLO-driven configuration change in order;
+	// Reselections also counts planner re-runs that kept the
+	// configuration.
+	Replans []ReplanEvent
 }
 
 func (s endpointStats) sub(prev endpointStats) endpointStats {
@@ -310,6 +321,7 @@ func (s endpointStats) sub(prev endpointStats) endpointStats {
 	s.ScaleDowns -= prev.ScaleDowns
 	s.Reselections -= prev.Reselections
 	s.ReplicaSeconds -= prev.ReplicaSeconds
+	s.Replans = s.Replans[len(prev.Replans):]
 	s.Cost.Lambda -= prev.Cost.Lambda
 	s.Cost.SNS -= prev.Cost.SNS
 	s.Cost.SQS -= prev.Cost.SQS
@@ -376,8 +388,23 @@ func (s *Service) buildEndpoint(ec *endpointConfig, cfg *serviceConfig) (*Endpoi
 			return nil, fmt.Errorf("serve: endpoint %q: WithSLO conflicts with WithChannel/WithWorkers/WithPlan", ec.name)
 		}
 		slo := ec.slo.withDefaults()
-		ep.slo = &sloState{opts: slo, probeBatch: float64(slo.ProbeBatch)}
-		dcfg, err := ep.selectConfig(slo.ProbeBatch)
+		obj := slo.Objective
+		if obj == nil {
+			obj = plan.WeightedObjective(slo.LatencyWeight)
+		}
+		// The pre-filter stays off so the initial pick matches the legacy
+		// AutoSelect exactly; re-plans re-score cached trials anyway.
+		planner, err := plan.New(ec.m, plan.Options{
+			Objective:        obj,
+			Grid:             plan.Grid{Channels: slo.Channels, Workers: slo.Workers},
+			DisablePrefilter: true,
+			Seed:             slo.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: endpoint %q: %w", ec.name, err)
+		}
+		ep.slo = &sloState{opts: slo, planner: planner, probeBatch: float64(slo.ProbeBatch)}
+		dcfg, err := ep.selectConfig(plan.WorkloadProfile{BatchSamples: slo.ProbeBatch})
 		if err != nil {
 			return nil, fmt.Errorf("serve: endpoint %q: %w", ec.name, err)
 		}
@@ -469,30 +496,36 @@ func (s *Service) buildEndpoint(ec *endpointConfig, cfg *serviceConfig) (*Endpoi
 	return ep, nil
 }
 
-// selectConfig runs core.AutoSelect for the endpoint's model with the
-// given probe batch width and returns the chosen deployment template.
-func (ep *Endpoint) selectConfig(probeBatch int) (core.Config, error) {
-	slo := ep.slo.opts
-	sel, err := core.AutoSelect(ep.m, core.AutoSelectOptions{
-		LatencyWeight: slo.LatencyWeight,
-		Workers:       slo.Workers,
-		ProbeBatch:    probeBatch,
-		Seed:          slo.Seed,
-	})
+// selectConfig plans (or re-plans) the endpoint's configuration for a
+// workload profile and returns the chosen deployment template.
+func (ep *Endpoint) selectConfig(profile plan.WorkloadProfile) (core.Config, error) {
+	st := ep.slo
+	var d *plan.Decision
+	var err error
+	if st.decision == nil {
+		d, err = st.planner.Plan(profile)
+	} else {
+		d, err = st.planner.Replan(profile)
+	}
 	if err != nil {
 		return core.Config{}, err
 	}
-	dcfg := sel.Config
+	st.decision = d
+	dcfg := d.Config
 	if ep.mutate != nil {
 		ep.mutate(&dcfg)
 	}
 	return dcfg, nil
 }
 
-// observeRun feeds one completed run's batch width to the SLO machinery:
-// when the EWMA drifts from the probe assumption by ReselectFactor, the
-// endpoint re-runs AutoSelect and replaces replicas (lazily, as they go
-// idle) with the new configuration.
+// observeRun feeds one completed run's batch width to the SLO machinery.
+// Two drifts trigger a re-plan: the batch-width EWMA moving from the
+// probe assumption by ReselectFactor, and the observed arrival rate
+// crossing the memory channel's break-even daily volume — the signal that
+// flips the provisioned-versus-per-request economics. A re-plan feeds the
+// scheduler's live WorkloadProfile into Planner.Replan, so the decision
+// finally accounts for provisioned idle billing, and replaces replicas
+// (lazily, as they go idle) when the configuration changes.
 func (ep *Endpoint) observeRun(samples int) {
 	st := ep.slo
 	if st == nil {
@@ -504,11 +537,24 @@ func (ep *Endpoint) observeRun(samples int) {
 		st.ewmaBatch = 0.75*st.ewmaBatch + 0.25*float64(samples)
 	}
 	st.runs++
-	f := st.opts.ReselectFactor
-	if f <= 1 || st.runs < st.opts.MinRuns {
+	if st.runs < st.opts.MinRuns {
 		return
 	}
-	if st.ewmaBatch < st.probeBatch*f && st.ewmaBatch*f > st.probeBatch {
+	var reason string
+	if f := st.opts.ReselectFactor; f > 1 &&
+		(st.ewmaBatch >= st.probeBatch*f || st.ewmaBatch*f <= st.probeBatch) {
+		reason = fmt.Sprintf("batch width drifted to %.0f from the %.0f-sample probe",
+			st.ewmaBatch, st.probeBatch)
+	}
+	observedQPD := ep.sched.queriesPerDay()
+	if d := st.decision; reason == "" && d != nil && observedQPD > 0 {
+		be := d.MemoryBreakEvenQueriesPerDay
+		if plan.BreakEvenSide(observedQPD, be) != plan.BreakEvenSide(d.Profile.QueriesPerDay, be) {
+			reason = fmt.Sprintf("arrival rate crossed the memory break-even (%d vs ~%d queries/day)",
+				observedQPD, be)
+		}
+	}
+	if reason == "" {
 		return
 	}
 	probe := int(math.Round(st.ewmaBatch))
@@ -516,7 +562,8 @@ func (ep *Endpoint) observeRun(samples int) {
 		probe = 1
 	}
 	st.runs = 0
-	dcfg, err := ep.selectConfig(probe)
+	profile := ep.sched.observedProfile(probe)
+	dcfg, err := ep.selectConfig(profile)
 	if err != nil {
 		return // keep the current configuration; retry after MinRuns more runs
 	}
@@ -525,8 +572,17 @@ func (ep *Endpoint) observeRun(samples int) {
 	if dcfg.Channel == ep.dcfg.Channel && dcfg.Workers() == ep.dcfg.Workers() {
 		return // same configuration still wins; no redeploy needed
 	}
-	ep.dcfg = dcfg
 	now := ep.svc.Now()
+	ep.stats.Replans = append(ep.stats.Replans, ReplanEvent{
+		At:            now,
+		From:          ep.dcfg.Channel,
+		FromWorkers:   ep.dcfg.Workers(),
+		To:            dcfg.Channel,
+		ToWorkers:     dcfg.Workers(),
+		QueriesPerDay: profile.QueriesPerDay,
+		Reason:        reason,
+	})
+	ep.dcfg = dcfg
 	for _, rep := range ep.sched.pool {
 		rep.stale = true
 		if rep.active == 0 {

@@ -142,3 +142,65 @@ func TestDeployInferCompatibilityPath(t *testing.T) {
 		t.Fatal("compat path lost metering")
 	}
 }
+
+// The public Planner API, exercised exactly as a library consumer would:
+// plan under an assumed sporadic workload, observe the pruning stats,
+// re-plan under a sustained one, deploy the pick, and keep the legacy
+// AutoSelect wrapper agreeing with the planner it wraps.
+func TestPublicPlannerPlanAndReplan(t *testing.T) {
+	m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := fsdinference.NewPlanner(m, fsdinference.PlannerOptions{
+		Objective: fsdinference.CostObjective(),
+		Grid: fsdinference.PlannerGrid{
+			Channels: []fsdinference.ChannelKind{fsdinference.Queue, fsdinference.Memory},
+			Workers:  []int{2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Plan(fsdinference.WorkloadProfile{QueriesPerDay: 20, BatchSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Best.Channel != fsdinference.Queue {
+		t.Fatalf("sporadic plan picked %v, want queue", d.Best.Channel)
+	}
+	if d.Pruned == 0 {
+		t.Fatal("analytic pre-filter pruned nothing on the sporadic cost plan")
+	}
+	d2, err := p.Replan(fsdinference.WorkloadProfile{QueriesPerDay: 200_000, BatchSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Best.Channel != fsdinference.Memory || !d2.Changed {
+		t.Fatalf("sustained replan picked %v (changed=%v), want a flip to memory", d2.Best.Channel, d2.Changed)
+	}
+	// The decision's config deploys and serves on a caller environment.
+	dep, err := fsdinference.Deploy(fsdinference.NewEnv(), d2.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fsdinference.GenerateInputs(256, 8, 0.2, 2)
+	res, err := dep.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsdinference.OutputsClose(res.Output, fsdinference.Reference(m, in), 1e-2) {
+		t.Fatal("planned config produced wrong output")
+	}
+
+	// The legacy facade wrapper still answers with its original shape.
+	sel, err := fsdinference.AutoSelect(m, fsdinference.AutoSelectOptions{
+		LatencyWeight: 1, Workers: []int{2}, ProbeBatch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best.Channel != fsdinference.Serial {
+		t.Fatalf("latency-weighted AutoSelect picked %v, want serial for a model this small", sel.Best.Channel)
+	}
+}

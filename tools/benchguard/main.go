@@ -12,6 +12,11 @@
 // Usage:
 //
 //	go run ./tools/benchguard [-new BENCH_2.json] [-threshold 0.25]
+//	go run ./tools/benchguard -history
+//
+// -history prints the full BENCH_* trajectory the guard is protecting —
+// every point in sequence order with its ns/op and the step-to-step
+// change — instead of guarding.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
@@ -69,10 +75,76 @@ func read(path string) (benchPoint, error) {
 	return p, json.Unmarshal(data, &p)
 }
 
+// trajectory returns every BENCH_*.json in dir in sequence order.
+func trajectory(dir string) (seqs []int, paths []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	bySeq := map[int]string{}
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		bySeq[n] = filepath.Join(dir, e.Name())
+	}
+	for n := range bySeq {
+		seqs = append(seqs, n)
+	}
+	sort.Ints(seqs)
+	for _, n := range seqs {
+		paths = append(paths, bySeq[n])
+	}
+	return seqs, paths, nil
+}
+
+// printHistory renders the guarded trajectory: one row per BENCH_* point
+// with its serving-replay ns/op and the change against the previous
+// point.
+func printHistory(dir string) error {
+	seqs, paths, err := trajectory(dir)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH_*.json found in %s", dir)
+	}
+	fmt.Printf("%-8s %-16s %14s %10s %9s %9s\n", "point", "benchmark", "ns/op", "queries", "samples", "change")
+	var prev int64
+	for i, p := range paths {
+		pt, err := read(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		change := "-"
+		if i > 0 && prev > 0 {
+			change = fmt.Sprintf("%+.1f%%", 100*float64(pt.NsPerOp-prev)/float64(prev))
+		}
+		name := pt.Benchmark
+		if name == "" {
+			name = "?"
+		}
+		fmt.Printf("BENCH_%-2d %-16s %14d %10d %9d %9s\n",
+			seqs[i], name, pt.NsPerOp, pt.Queries, pt.Samples, change)
+		prev = pt.NsPerOp
+	}
+	return nil
+}
+
 func main() {
 	newPath := flag.String("new", "", "freshly emitted bench point (default: highest-numbered BENCH_*.json)")
 	threshold := flag.Float64("threshold", 0.25, "maximum allowed ns/op regression (fraction)")
+	history := flag.Bool("history", false, "print the full BENCH_* trajectory being guarded and exit")
 	flag.Parse()
+
+	if *history {
+		if err := printHistory("."); err != nil {
+			log.Fatalf("benchguard: %v", err)
+		}
+		return
+	}
 
 	if *newPath == "" {
 		latest, err := latestBench(".")
