@@ -61,6 +61,7 @@ func BenchmarkFig4DailyCost(b *testing.B)      { benchExperiment(b, "fig4") }
 func BenchmarkFig5QueryLatency(b *testing.B)   { benchExperiment(b, "fig5") }
 func BenchmarkFig6Scaling(b *testing.B)        { benchExperiment(b, "fig6") }
 func BenchmarkChannelComparison(b *testing.B)  { benchExperiment(b, "channels") }
+func BenchmarkClusterScaling(b *testing.B)     { benchExperiment(b, "cluster") }
 func BenchmarkPlannerSelection(b *testing.B)   { benchExperiment(b, "planner") }
 func BenchmarkTable2PerSample(b *testing.B)    { benchExperiment(b, "table2") }
 func BenchmarkTable3Partitioning(b *testing.B) { benchExperiment(b, "table3") }
@@ -213,6 +214,35 @@ func BenchmarkPlanner(b *testing.B) {
 		}
 		if d.Best.Channel == d2.Best.Channel {
 			b.Fatalf("replan did not flip the channel: %v", d.Best.Channel)
+		}
+	}
+}
+
+// BenchmarkClusterChannel drives one inference run over the sharded,
+// replicated memory-store cluster — slot routing, async replication and
+// per-shard limiters all on the hot path — so the cluster data path sits
+// in the perf trajectory (BENCH_4 onward) alongside the serving replay.
+func BenchmarkClusterChannel(b *testing.B) {
+	m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := fsdinference.BuildPlan(m, 4, fsdinference.Block, fsdinference.PartitionOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := fsdinference.GenerateInputs(256, 16, 0.2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := fsdinference.Deploy(fsdinference.NewEnv(), fsdinference.Config{
+			Model: m, Plan: plan, Channel: fsdinference.Memory,
+			KVNodes: 2, KVReplicas: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Infer(input); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"fsdinference/internal/baselines"
 	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/cloud/kvcluster"
 	"fsdinference/internal/cloud/pricing"
 	"fsdinference/internal/core"
 	"fsdinference/internal/cost"
@@ -137,6 +138,45 @@ const (
 // DefaultKVNodeType is the provisioned store node the Memory channel uses
 // unless Config.KVNodeType overrides it.
 const DefaultKVNodeType = core.DefaultKVNodeType
+
+// The sharded, replicated memory-store cluster behind the Memory channel
+// (internal/cloud/kvcluster): keys hash into 16384 slots, rendezvous
+// hashing maps slots to Config.KVNodes primary shards — each with its
+// own request-rate and bandwidth ceiling, so channel throughput scales
+// with the shard count — and Config.KVReplicas replicas per shard buy
+// failover behaviour at replica node-hours (R=1 async promotion loses
+// the replication pipe, R>=2 quorum writes lose nothing). KillNode and
+// Partition inject faults mid-run; Deployment.KVCluster returns the
+// handle:
+//
+//	d, _ := fsdinference.Deploy(env, fsdinference.Config{
+//		Model: m, Plan: plan, Channel: fsdinference.Memory,
+//		KVNodes: 2, KVReplicas: 1,
+//	})
+//	env.K.At(2*time.Second, func() { d.KVCluster().KillNode(0) })
+type (
+	// KVCluster is a deployment's sharded, replicated store cluster.
+	KVCluster = kvcluster.Cluster
+	// KVClusterConfig parameterises a standalone cluster.
+	KVClusterConfig = kvcluster.Config
+	// KVClusterClient is a caller's cached topology view (pays a
+	// MOVED-style redirect after promotions).
+	KVClusterClient = kvcluster.Client
+)
+
+// NewKVCluster provisions a standalone store cluster on the environment
+// (outside any deployment), for direct experiments against the slot map,
+// replication and failover machinery.
+func NewKVCluster(e *Env, cfg KVClusterConfig) (*KVCluster, error) {
+	return kvcluster.New(e.KV, cfg)
+}
+
+// MeasureClusterThroughput saturates a fresh cluster of the given shard
+// count and node type and returns its steady-state aggregate ops/second
+// — the measurement showing shards scale past one node's ceiling.
+func MeasureClusterThroughput(shards int, nodeType string) float64 {
+	return kvcluster.MeasureThroughput(shards, nodeType, nil)
+}
 
 // Launch mechanisms (paper §III and the launch ablation).
 const (

@@ -92,6 +92,13 @@ func New(k *sim.Kernel, meter *usage.Meter, cfg Config) *Service {
 // Config returns the service configuration.
 func (s *Service) Config() Config { return s.cfg }
 
+// Kernel returns the simulation kernel the service runs on, for layers
+// (like the kvcluster subsystem) that schedule their own events.
+func (s *Service) Kernel() *sim.Kernel { return s.k }
+
+// Meter returns the usage meter the service bills into.
+func (s *Service) Meter() *usage.Meter { return s.meter }
+
 // Provision creates (or returns the existing) named node of the given
 // type. Creation itself is a control-plane operation, but unlike queue or
 // topic creation it is not free to keep: the node bills node-hours from
@@ -167,6 +174,13 @@ type Node struct {
 	billed        time.Duration // lifetime already metered
 	released      bool
 
+	// shard and replica attribute billed hours in cluster reports:
+	// shard labels the cluster shard the node serves, replica marks it
+	// as replica (not primary) capacity. Both are empty/false for
+	// standalone nodes.
+	shard   string
+	replica bool
+
 	items     map[string]*entry
 	usedBytes int64
 	limiter   *sim.Limiter
@@ -183,6 +197,27 @@ type Node struct {
 
 // Name returns the node name.
 func (n *Node) Name() string { return n.name }
+
+// SetBillingTag attributes the node's future accruals to a cluster
+// shard, optionally as replica capacity. Any already-billed lifetime is
+// accrued first so a promotion retag (replica -> primary) cannot move
+// hours that were served in the old role; a freshly provisioned node
+// retags before its first accrual, so the up-front billing floor lands
+// under the new tag.
+func (n *Node) SetBillingTag(shard string, replica bool) {
+	if n.billed > 0 {
+		n.accrue()
+	}
+	n.shard = shard
+	n.replica = replica
+}
+
+// Released reports whether the node has been released (its billing clock
+// stopped and its contents discarded).
+func (n *Node) Released() bool { return n.released }
+
+// IsReplica reports whether the node bills as replica capacity.
+func (n *Node) IsReplica() bool { return n.replica }
 
 // Type returns the node's provisioned size.
 func (n *Node) Type() NodeType { return n.typ }
@@ -208,6 +243,12 @@ func (n *Node) accrue() {
 	if delta := lifetime - n.billed; delta > 0 {
 		n.svc.meter.AddKVNodeHours(n.typ.Name, delta.Hours())
 		n.svc.meter.KVGBHours += delta.Hours() * n.typ.MemoryGB
+		if n.shard != "" {
+			n.svc.meter.AddKVShardHours(n.shard, delta.Hours())
+		}
+		if n.replica {
+			n.svc.meter.AddKVReplicaHours(n.typ.Name, delta.Hours())
+		}
 		n.billed = lifetime
 	}
 }
@@ -369,6 +410,126 @@ func (n *Node) DropPrefix(prefix string) {
 			n.drop(key)
 		}
 	}
+}
+
+// ReplApply appends a value to the list at key host-side, free of charge
+// and virtual time: the intra-cluster replication stream is not a billed
+// API call — a replica's entire cost is its node-hours. Capacity is not
+// enforced (the replica mirrors a primary of the same node type, so a
+// write that fit the primary fits the replica).
+func (n *Node) ReplApply(key string, val []byte, ttl time.Duration) {
+	if n.released || key == "" {
+		return
+	}
+	n.dropExpired(key)
+	e := n.items[key]
+	if e == nil {
+		e = &entry{}
+		n.items[key] = e
+		n.usedBytes += int64(n.svc.cfg.KeyOverheadBytes)
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	e.list = append(e.list, cp)
+	e.bytes += int64(len(val))
+	n.usedBytes += int64(len(val))
+	if n.usedBytes > n.PeakBytes {
+		n.PeakBytes = n.usedBytes
+	}
+	if ttl > 0 {
+		e.expiresAt = n.svc.k.Now() + ttl
+	}
+	n.cond.Broadcast()
+}
+
+// ReplApplyPop removes the head of the list at key host-side (the
+// replication of a pop), free of charge. A missing or empty key is a
+// no-op — the replica may simply not have received the value yet.
+func (n *Node) ReplApplyPop(key string) {
+	if n.released {
+		return
+	}
+	n.dropExpired(key)
+	e := n.items[key]
+	if e == nil || len(e.list) == 0 {
+		return
+	}
+	val := e.list[0]
+	e.list = e.list[1:]
+	e.bytes -= int64(len(val))
+	n.usedBytes -= int64(len(val))
+	if len(e.list) == 0 {
+		n.usedBytes -= int64(n.svc.cfg.KeyOverheadBytes)
+		delete(n.items, key)
+	}
+}
+
+// ReplApplyDel removes a key host-side (the replication of a delete),
+// free of charge. Deleting a missing key is a no-op.
+func (n *Node) ReplApplyDel(key string) {
+	if n.released {
+		return
+	}
+	n.drop(key)
+}
+
+// SyncFrom replaces the node's contents with a host-side copy of src —
+// the background full re-sync a fresh replica performs when it joins a
+// shard. Free of charge and virtual time, like the replication stream.
+func (n *Node) SyncFrom(src *Node) {
+	if n.released {
+		return
+	}
+	n.items = make(map[string]*entry, len(src.items))
+	n.usedBytes = 0
+	for key, e := range src.items {
+		cp := &entry{
+			list:      make([][]byte, len(e.list)),
+			bytes:     e.bytes,
+			expiresAt: e.expiresAt,
+		}
+		for i, v := range e.list {
+			cv := make([]byte, len(v))
+			copy(cv, v)
+			cp.list[i] = cv
+		}
+		n.items[key] = cp
+		n.usedBytes += e.bytes + int64(n.svc.cfg.KeyOverheadBytes)
+	}
+	if n.usedBytes > n.PeakBytes {
+		n.PeakBytes = n.usedBytes
+	}
+	n.cond.Broadcast()
+}
+
+// NumValues returns the live (unexpired) list values stored on the node
+// (test/metrics helper; free of charge) — what a failover with no
+// replica to promote loses.
+func (n *Node) NumValues() int {
+	count := 0
+	now := n.svc.k.Now()
+	for _, e := range n.items {
+		if e.expiresAt != 0 && now >= e.expiresAt {
+			continue
+		}
+		count += len(e.list)
+	}
+	return count
+}
+
+// ListLens returns each live key's list length host-side, free of
+// charge — the snapshot a cluster failover diffs against a replica to
+// count exactly the values that die with the primary.
+func (n *Node) ListLens() map[string]int {
+	now := n.svc.k.Now()
+	out := make(map[string]int, len(n.items))
+	for key, e := range n.items {
+		if e.expiresAt != 0 && now >= e.expiresAt {
+			continue
+		}
+		out[key] = len(e.list)
+	}
+	return out
 }
 
 // NumKeys returns the node's live (unexpired) key count (test/metrics

@@ -51,13 +51,33 @@ type Meter struct {
 	KVBytesOut  int64
 	KVGBHours   float64
 	KVNodeHours map[string]float64
+
+	// KVReplicaHours is the replica share of KVNodeHours by node type:
+	// replica nodes bill exactly like primaries (node-hours, idle or
+	// busy), and this map is what the availability-versus-cost tradeoff
+	// is priced from. KVShardHours breaks all node-hours down by shard
+	// label (primaries and replicas of one shard share a label).
+	KVReplicaHours map[string]float64
+	KVShardHours   map[string]float64
+
+	// Cluster fault/topology counters (kvcluster): failovers triggered,
+	// values lost to a failover (writes not yet replicated, or a whole
+	// unreplicated shard), values the memory channel re-sent from sender
+	// buffers to recover, and MOVED-style redirects clients paid after a
+	// topology change.
+	KVFailovers  int64
+	KVLostValues int64
+	KVResends    int64
+	KVMoved      int64
 }
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
 	return &Meter{
-		EC2Hours:    make(map[string]float64),
-		KVNodeHours: make(map[string]float64),
+		EC2Hours:       make(map[string]float64),
+		KVNodeHours:    make(map[string]float64),
+		KVReplicaHours: make(map[string]float64),
+		KVShardHours:   make(map[string]float64),
 	}
 }
 
@@ -67,9 +87,21 @@ func (m *Meter) AddEC2Hours(instanceType string, h float64) {
 }
 
 // AddKVNodeHours records h provisioned hours for the given cache node
-// type.
+// type. An optional shard label attributes the hours to one cluster
+// shard, and replica marks them as replica (not primary) capacity.
 func (m *Meter) AddKVNodeHours(nodeType string, h float64) {
 	m.KVNodeHours[nodeType] += h
+}
+
+// AddKVReplicaHours records h provisioned replica hours for the node
+// type — the replica share of AddKVNodeHours, not an extra charge.
+func (m *Meter) AddKVReplicaHours(nodeType string, h float64) {
+	m.KVReplicaHours[nodeType] += h
+}
+
+// AddKVShardHours attributes h provisioned node-hours to a shard label.
+func (m *Meter) AddKVShardHours(shard string, h float64) {
+	m.KVShardHours[shard] += h
 }
 
 // SQSRequests returns Q, the billed queueing API request count.
@@ -92,6 +124,14 @@ func (m *Meter) Snapshot() Meter {
 	c.KVNodeHours = make(map[string]float64, len(m.KVNodeHours))
 	for k, v := range m.KVNodeHours {
 		c.KVNodeHours[k] = v
+	}
+	c.KVReplicaHours = make(map[string]float64, len(m.KVReplicaHours))
+	for k, v := range m.KVReplicaHours {
+		c.KVReplicaHours[k] = v
+	}
+	c.KVShardHours = make(map[string]float64, len(m.KVShardHours))
+	for k, v := range m.KVShardHours {
+		c.KVShardHours[k] = v
 	}
 	return c
 }
@@ -117,11 +157,21 @@ func (m *Meter) Sub(prev Meter) Meter {
 	d.KVBytesIn -= prev.KVBytesIn
 	d.KVBytesOut -= prev.KVBytesOut
 	d.KVGBHours -= prev.KVGBHours
+	d.KVFailovers -= prev.KVFailovers
+	d.KVLostValues -= prev.KVLostValues
+	d.KVResends -= prev.KVResends
+	d.KVMoved -= prev.KVMoved
 	for k, v := range prev.EC2Hours {
 		d.EC2Hours[k] -= v
 	}
 	for k, v := range prev.KVNodeHours {
 		d.KVNodeHours[k] -= v
+	}
+	for k, v := range prev.KVReplicaHours {
+		d.KVReplicaHours[k] -= v
+	}
+	for k, v := range prev.KVShardHours {
+		d.KVShardHours[k] -= v
 	}
 	return d
 }
@@ -135,8 +185,10 @@ type Breakdown struct {
 	S3     float64
 	EC2    float64
 	// KV is the provisioned in-memory store spend (node-hours; no
-	// per-request component).
-	KV float64
+	// per-request component). KVReplica is the replica share of KV —
+	// informational, already included in KV, so Total does not add it.
+	KV        float64
+	KVReplica float64
 }
 
 // Comms returns the communication cost (everything except compute).
@@ -153,6 +205,9 @@ func (b Breakdown) String() string {
 	fmt.Fprintf(&sb, " (SNS $%.4f, SQS $%.4f, S3 $%.4f", b.SNS, b.SQS, b.S3)
 	if b.KV != 0 {
 		fmt.Fprintf(&sb, ", KV $%.4f", b.KV)
+		if b.KVReplica != 0 {
+			fmt.Fprintf(&sb, " incl. replicas $%.4f", b.KVReplica)
+		}
 	}
 	sb.WriteString(")")
 	fmt.Fprintf(&sb, ", total $%.4f", b.Total())
@@ -176,5 +231,33 @@ func (m *Meter) Cost(c pricing.Catalog) Breakdown {
 	for typ, h := range m.KVNodeHours {
 		b.KV += h * c.KVNodeHourly[typ]
 	}
+	for typ, h := range m.KVReplicaHours {
+		b.KVReplica += h * c.KVNodeHourly[typ]
+	}
 	return b
+}
+
+// KVShardCost prices the per-shard node-hours breakdown: shard label to
+// billed dollars (primaries plus replicas of that shard). Shard labels
+// do not carry the node type, so the breakdown assumes one node type per
+// cluster — true for every deployment the engine creates — and prices
+// each shard's hours at its cluster's node rate via the weighted average
+// of KVNodeHours.
+func (m *Meter) KVShardCost(c pricing.Catalog) map[string]float64 {
+	var hours, dollars float64
+	for typ, h := range m.KVNodeHours {
+		hours += h
+		dollars += h * c.KVNodeHourly[typ]
+	}
+	if hours <= 0 {
+		return nil
+	}
+	rate := dollars / hours
+	out := make(map[string]float64, len(m.KVShardHours))
+	for shard, h := range m.KVShardHours {
+		if h > 0 {
+			out[shard] = h * rate
+		}
+	}
+	return out
 }

@@ -6,28 +6,60 @@ import (
 	"strconv"
 	"time"
 
-	"fsdinference/internal/cloud/kvstore"
+	"fsdinference/internal/cloud/kvcluster"
 	"fsdinference/internal/sim"
 	"fsdinference/internal/wire"
 )
 
 // memoryChannel implements FSD-Inf-Memory: workers exchange row sets
-// through a provisioned in-memory key-value store (ElastiCache/Redis
+// through a provisioned in-memory key-value cluster (ElastiCache/Redis
 // class) instead of pub-sub queues or object storage. Every worker owns a
-// per-run inbox list "{run}/inbox/{m}" on one of the deployment's cache
-// nodes; senders RPUSH one framed value per (target, layer) — the store's
-// value cap is far above the 256 KB pub-sub ceiling, so no chunking — and
-// receivers BLPOP their inbox, buffering values for phases they have not
-// reached yet. Keys are run-scoped, so any number of runs overlap on one
-// deployment, and each push refreshes a TTL so an aborted run's keyspace
-// expires on its own; normal completion tears the keyspace down
-// explicitly. Latency is memory-speed (sub-millisecond ops); the bill is
-// provisioned node-hours that accrue while the deployment sits idle — no
-// per-request charge at all.
-type memoryChannel struct{}
+// per-run inbox list "{run}/inbox/{m}" whose key hashes into the
+// cluster's 16384-slot map, scattering inboxes across the deployment's
+// primary shards — each with its own request-rate and bandwidth ceiling,
+// so channel throughput scales with KVNodes. Senders RPUSH one framed
+// value per (target, layer) — the store's value cap is far above the
+// 256 KB pub-sub ceiling, so no chunking — and receivers BLPOP their
+// inbox, buffering values for phases they have not reached yet. Keys are
+// run-scoped, so any number of runs overlap on one deployment; each push
+// refreshes a TTL so an aborted run's keyspace expires on its own, and
+// normal completion tears all shards down explicitly.
+//
+// Failures surface exactly as on a real cluster: while a killed shard
+// fails over, operations on its slots stall; once a replica is promoted
+// the worker's cached route pays a MOVED-style redirect. A lossy
+// failover (R < 2) destroys in-flight inbox values — receivers detect
+// the starvation, and the missing sources re-send from the run's
+// host-side sender buffers (workers hold their layer outputs in memory),
+// charged as fresh pushes and counted in WorkerMetrics.Resends. Quorum
+// replication (R >= 2) hides the failure entirely, at replica node-hour
+// prices.
+type memoryChannel struct {
+	// client caches the cluster topology; a failover charges it one
+	// redirect round trip.
+	client kvcluster.Client
+	// resentAt tracks, per "kind:layer" phase, the cluster loss counter
+	// up to which sender-buffer recovery already ran, so each lossy
+	// failover triggers at most one re-send sweep per phase. The floor
+	// for phases that never recovered is the run's baseLost: losses
+	// predating the run cannot concern it, but a kill mid-run concerns
+	// every worker — including instances that launch after it.
+	resentAt map[string]int64
+}
 
-func (mc *memoryChannel) node(w *worker, target int32) *kvstore.Node {
-	return w.d.kvnodes[int(target)%len(w.d.kvnodes)]
+func newMemoryChannel(w *worker) *memoryChannel {
+	return &memoryChannel{resentAt: make(map[string]int64)}
+}
+
+// sentValue is one sender-log entry: the framed inbox value a worker
+// pushed, with enough addressing to replay it for a starved receiver.
+type sentValue struct {
+	kind   string
+	layer  int
+	src    int32
+	target int32
+	val    []byte
+	ttl    time.Duration
 }
 
 func inboxKey(runID string, target int32) string {
@@ -64,8 +96,9 @@ func decodeMemValue(val []byte) (kind string, layer int, src int32, body []byte,
 	return string(parts[0]), layer, int32(src64), val[sep+1:], nil
 }
 
-// push encodes one (target, rows) entry and appends it to the target's
-// inbox list, refreshing the run keyspace TTL. Even an empty row set is
+// push encodes one (target, rows) entry, appends it to the target's
+// slot-routed inbox list (refreshing the run keyspace TTL) and records it
+// in the run's sender log for failover recovery. Even an empty row set is
 // pushed so the target learns the transfer is complete.
 func (mc *memoryChannel) push(w *worker, kind string, layer int, target int32, rs *wire.RowSet) (func(p *sim.Proc) error, error) {
 	if w.d.Cfg.Compress && rs.Len() > 0 {
@@ -79,10 +112,16 @@ func (mc *memoryChannel) push(w *worker, kind string, layer int, target int32, r
 	w.metrics.BytesSent += int64(len(body))
 	w.metrics.MessagesSent++
 	w.metrics.Publishes++
-	node := mc.node(w, target)
+	cl := w.d.kvcluster
 	key := inboxKey(w.run.id, target)
 	ttl := w.d.Cfg.FunctionTimeout
-	return func(p *sim.Proc) error { return node.RPush(p, key, val, ttl) }, nil
+	if w.run.sent == nil {
+		w.run.sent = make(map[int32][]sentValue)
+	}
+	w.run.sent[target] = append(w.run.sent[target], sentValue{
+		kind: kind, layer: layer, src: w.id, target: target, val: val, ttl: ttl,
+	})
+	return func(p *sim.Proc) error { return cl.RPush(p, &mc.client, key, val, ttl) }, nil
 }
 
 func (mc *memoryChannel) send(w *worker, layer int, outs []targetRows) error {
@@ -109,9 +148,11 @@ const blockWait = time.Second
 // collect runs the memory-channel receive loop for any value kind: BLPOP
 // the worker's inbox, deliver matching values, and buffer values for
 // future phases (a fast upstream worker may already be pushing the next
-// layer). One value completes one source for the (kind, layer).
+// layer). One value completes one source for the (kind, layer). A
+// starved read after a lossy cluster failover triggers one sender-buffer
+// re-send sweep for the phase's missing sources.
 func (mc *memoryChannel) collect(w *worker, kind string, layer int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error {
-	node := mc.node(w, w.id)
+	cl := w.d.kvcluster
 	key := inboxKey(w.run.id, w.id)
 	remaining := make(map[int32]bool, len(sources))
 	for _, s := range sources {
@@ -147,8 +188,11 @@ func (mc *memoryChannel) collect(w *worker, kind string, layer int, sources []in
 			return fmt.Errorf("core: worker %d out of runtime collecting %s/layer %d", w.id, kind, layer)
 		}
 		w.metrics.Polls++
-		val := node.BLPop(w.ctx.P, key, blockWait)
+		val := cl.BLPop(w.ctx.P, &mc.client, key, blockWait)
 		if val == nil {
+			if err := mc.recover(w, kind, layer, pkey, remaining); err != nil {
+				return err
+			}
 			continue
 		}
 		w.metrics.Fetches++
@@ -165,6 +209,39 @@ func (mc *memoryChannel) collect(w *worker, kind string, layer int, sources []in
 		// Buffer for the phase that expects it.
 		k := pendKey(vkind, vlayer)
 		w.pending[k] = append(w.pending[k], pendingMsg{src: src, chunks: 1, seq: 0, body: body})
+	}
+	return nil
+}
+
+// recover runs after a starved blocking read: if the cluster lost values
+// to a failover since this phase last recovered, every value the run's
+// sender log holds for this worker, this phase, from a still-missing
+// source is re-pushed — the re-send the paper-scale system performs from
+// the sender's in-memory layer outputs — charged as fresh cluster
+// pushes. Later phases that also lost values recover themselves when
+// they starve. Quorum-replicated clusters never lose values, so this
+// never fires for them and the failover stays hidden behind the
+// promotion stall.
+func (mc *memoryChannel) recover(w *worker, kind string, layer int, pkey string, remaining map[int32]bool) error {
+	lost := w.d.kvcluster.LostValues()
+	floor, seen := mc.resentAt[pkey]
+	if !seen {
+		floor = w.run.baseLost
+	}
+	if lost <= floor {
+		return nil
+	}
+	mc.resentAt[pkey] = lost
+	key := inboxKey(w.run.id, w.id)
+	for _, sv := range w.run.sent[w.id] {
+		if sv.kind != kind || sv.layer != layer || !remaining[sv.src] {
+			continue
+		}
+		w.metrics.Resends++
+		w.d.Env.Meter.KVResends++
+		if err := w.d.kvcluster.RPush(w.ctx.P, &mc.client, key, sv.val, sv.ttl); err != nil {
+			return err
+		}
 	}
 	return nil
 }

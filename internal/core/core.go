@@ -159,9 +159,21 @@ type Config struct {
 	// KVNodeType sizes the provisioned in-memory store nodes (Memory
 	// channel only; default cache.m6g.large).
 	KVNodeType string
-	// KVNodes is the number of provisioned store nodes worker inboxes
-	// shard across (default 1).
+	// KVNodes is the number of primary shards of the provisioned store
+	// cluster worker inboxes hash across (default 1). Each shard keeps
+	// its own request-rate and bandwidth ceiling, so aggregate channel
+	// throughput scales with the shard count.
 	KVNodes int
+	// KVReplicas is the replica count per shard (default 0). Replicas
+	// bill node-hours like primaries and buy failover behaviour: R=1
+	// promotes with the async-replication window lost, R>=2 runs quorum
+	// writes and a single node failure loses nothing.
+	KVReplicas int
+	// KVFailoverWindow is how long a killed shard's slots stay
+	// unavailable before promotion (default 5s).
+	KVFailoverWindow time.Duration
+	// KVReplicationLag bounds the async replication delay (default 50ms).
+	KVReplicationLag time.Duration
 
 	// StoreBandwidthScale multiplies the model store's transfer
 	// bandwidth (default 1). The scaled-experiment harness uses it to
@@ -200,6 +212,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.KVNodes <= 0 {
 		c.KVNodes = 1
+	}
+	if c.KVReplicas < 0 {
+		c.KVReplicas = 0
 	}
 	return c
 }
@@ -251,6 +266,11 @@ type WorkerMetrics struct {
 	Polls           int64 // queue: receive calls; object: LIST calls
 	Deletes         int64 // queue: delete-batch calls
 	Fetches         int64 // queue: messages received; object: GET calls
+	// Resends counts values this worker re-delivered from its run's
+	// sender-side buffers after a lossy store failover (Memory channel
+	// only): the recovery that lets an R<2 cluster run complete at the
+	// price of extra ops and latency.
+	Resends int64
 	// AttrBytes is the worker-side ledger of message-attribute bytes,
 	// which count toward SNS->SQS transfer volume (Z).
 	AttrBytes int64

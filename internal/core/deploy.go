@@ -8,7 +8,7 @@ import (
 
 	"fsdinference/internal/cloud/env"
 	"fsdinference/internal/cloud/faas"
-	"fsdinference/internal/cloud/kvstore"
+	"fsdinference/internal/cloud/kvcluster"
 	"fsdinference/internal/cloud/s3"
 	"fsdinference/internal/cloud/sns"
 	"fsdinference/internal/cloud/sqs"
@@ -29,11 +29,11 @@ type Deployment struct {
 	Env *env.Env
 	Cfg Config
 
-	prefix  string
-	topics  []*sns.Topic
-	buckets []*s3.Bucket
-	kvnodes []*kvstore.Node
-	store   *s3.Bucket
+	prefix    string
+	topics    []*sns.Topic
+	buckets   []*s3.Bucket
+	kvcluster *kvcluster.Cluster
+	store     *s3.Bucket
 
 	fnWorker      string
 	fnCoordinator string
@@ -57,6 +57,17 @@ type runState struct {
 	// filter on (target=m, run=id), so concurrent runs of one deployment
 	// never consume each other's messages.
 	queues []*sqs.Queue
+
+	// sent is the Memory channel's host-side sender log: every framed
+	// value pushed during the run, keyed by target worker. Workers hold
+	// their layer outputs in memory anyway, so after a lossy store
+	// failover a receiver can have its missing sources re-send from
+	// these buffers instead of deadlocking on values no node holds.
+	// baseLost is the cluster's loss counter when the run began: only
+	// failovers after it concern this run, even for workers whose
+	// instances launch after the kill.
+	sent     map[int32][]sentValue
+	baseLost int64
 
 	rootFut      *faas.Future
 	metrics      []*WorkerMetrics
@@ -119,15 +130,23 @@ func Deploy(e *env.Env, cfg Config) (*Deployment, error) {
 	if cfg.Channel == Memory {
 		// Unlike topics and buckets, provisioned cache nodes are NOT free
 		// to keep: they bill node-hours from this moment, idle or busy —
-		// the provisioned-versus-per-request tradeoff of §IV.
-		d.kvnodes = make([]*kvstore.Node, cfg.KVNodes)
-		for n := 0; n < cfg.KVNodes; n++ {
-			node, err := e.KV.Provision(fmt.Sprintf("%s-kv-%d", prefix, n), cfg.KVNodeType)
-			if err != nil {
-				return nil, err
-			}
-			d.kvnodes[n] = node
+		// the provisioned-versus-per-request tradeoff of §IV. The nodes
+		// form a slot-mapped cluster: KVNodes primary shards (each with
+		// its own request-rate ceiling) times KVReplicas replicas, so the
+		// deployment buys throughput with shards and availability with
+		// replica node-hours.
+		cl, err := kvcluster.New(e.KV, kvcluster.Config{
+			Name:           prefix + "-kv",
+			Shards:         cfg.KVNodes,
+			Replicas:       cfg.KVReplicas,
+			NodeType:       cfg.KVNodeType,
+			FailoverWindow: cfg.KVFailoverWindow,
+			ReplicationLag: cfg.KVReplicationLag,
+		})
+		if err != nil {
+			return nil, err
 		}
+		d.kvcluster = cl
 	}
 
 	if err := d.registerFunctions(); err != nil {
@@ -233,6 +252,9 @@ func (d *Deployment) Start(input *sparse.Dense, done func(*Result, error)) (stri
 		batch: input.Cols,
 		input: input,
 	}
+	if d.kvcluster != nil {
+		run.baseLost = d.kvcluster.LostValues()
+	}
 	d.runs[run.id] = run
 	d.stageInput(run)
 	d.bindRunQueues(run)
@@ -284,13 +306,19 @@ func (d *Deployment) unbindRunQueues(run *runState) {
 }
 
 // dropRunKeyspace tears down a Memory-channel run's key prefix on every
-// cache node (free control-plane operation, like queue teardown). Keys of
-// a run that never completes expire via their TTL instead.
+// cluster node — all shards, primaries and replicas (free control-plane
+// operation, like queue teardown). Keys of a run that never completes
+// expire via their TTL instead.
 func (d *Deployment) dropRunKeyspace(run *runState) {
-	for _, n := range d.kvnodes {
-		n.DropPrefix(run.id + "/")
+	if d.kvcluster != nil {
+		d.kvcluster.DropPrefix(run.id + "/")
 	}
 }
+
+// KVCluster returns the Memory-channel deployment's provisioned store
+// cluster (nil for other channels) — the handle fault-injection
+// experiments use to kill or partition shards mid-run.
+func (d *Deployment) KVCluster() *kvcluster.Cluster { return d.kvcluster }
 
 // Decommission releases the deployment's provisioned resources that bill
 // while idle — the Memory channel's cache nodes, which accrue node-hours
@@ -300,10 +328,10 @@ func (d *Deployment) dropRunKeyspace(run *runState) {
 // once in-flight runs have drained; the deployment must not start new
 // runs afterwards.
 func (d *Deployment) Decommission() {
-	for _, n := range d.kvnodes {
-		n.Release()
+	if d.kvcluster != nil {
+		d.kvcluster.Release()
+		d.kvcluster = nil
 	}
-	d.kvnodes = nil
 }
 
 // clientRun is the client-side body of one request: invoke the serial

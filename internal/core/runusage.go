@@ -70,14 +70,20 @@ func (d *Deployment) runUsage(run *runState) usage.Meter {
 	// between runs belong to the deployment, not to any one request;
 	// exact billing is always the metered window (Infer, Replay's
 	// TotalCost).
-	if d.Cfg.Channel == Memory {
+	if d.Cfg.Channel == Memory && d.kvcluster != nil {
 		dur := run.end - run.start
 		if min := d.Env.KV.Config().MinBilledDuration; dur < min {
 			dur = min
 		}
-		for _, n := range d.kvnodes {
+		// Every cluster node — primary shards and their replicas — bills
+		// for the run's wall time: replicas are the availability premium
+		// the run paid whether or not a failover happened.
+		for _, n := range d.kvcluster.Nodes() {
 			u.AddKVNodeHours(n.Type().Name, dur.Hours())
 			u.KVGBHours += dur.Hours() * n.Type().MemoryGB
+			if n.IsReplica() {
+				u.AddKVReplicaHours(n.Type().Name, dur.Hours())
+			}
 		}
 	}
 	return u

@@ -111,7 +111,7 @@ func (d *Deployment) workerHandler(ctx *faas.Ctx, payload []byte) ([]byte, error
 	case Object:
 		w.ch = &objectChannel{}
 	case Memory:
-		w.ch = &memoryChannel{}
+		w.ch = newMemoryChannel(w)
 	default:
 		return nil, fmt.Errorf("core: worker launched with %v channel", d.Cfg.Channel)
 	}

@@ -113,6 +113,36 @@ func MemoryValueFeasible(bytesPerPair int64) bool {
 	return bytesPerPair <= int64(kvstore.DefaultConfig().MaxValueBytes)
 }
 
+// MemoryOpsPerQuery estimates the store operations one query issues on
+// the memory channel: one push and one pop per (pair, layer), plus the
+// barrier and reduce traffic (roughly four ops per worker). It is the
+// demand side of the per-node request-rate ceiling.
+func MemoryOpsPerQuery(w Workload) int64 {
+	return 2*w.PairsPerLayer*int64(w.Layers) + 4*int64(w.Workers)
+}
+
+// MemoryClusterSaturated reports whether the workload's sustained
+// operation rate exceeds the aggregate request-rate ceiling of a cluster
+// of shards primaries of the node type: each shard enforces its own
+// ceiling, so capacity scales linearly with the shard count. A saturated
+// configuration is infeasible however cheap — queries would back up
+// behind the limiter without bound — which is the analytic rule that
+// makes the planner reach for more shards under heavy sustained volume.
+func MemoryClusterSaturated(w Workload, nodeType string, shards int) bool {
+	if w.QueriesPerDay <= 0 {
+		return false
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	nt, ok := kvstore.Catalog[nodeType]
+	if !ok {
+		nt = kvstore.Catalog[kvstore.DefaultNodeType]
+	}
+	demand := float64(MemoryOpsPerQuery(w)*w.QueriesPerDay) / 86400
+	return demand > nt.MaxOpsPerSec*float64(shards)
+}
+
 // memoryNodeHourly resolves the provisioned node's hourly price: the
 // workload's explicit override, else the catalogue's rate for the
 // default node type deployments assume.

@@ -170,6 +170,7 @@ func Registry() []Runner {
 		{"fig5", "Query latency by platform (Fig. 5)", Fig5QueryLatency},
 		{"fig6", "Per-sample runtime and cost vs parallelism (Fig. 6)", Fig6Scaling},
 		{"channels", "Three-way channel comparison incl. provisioned memory store", ChannelComparison},
+		{"cluster", "Sharded, replicated memory-store cluster: throughput scaling and failover", ClusterScaling},
 		{"planner", "Workload-aware planner vs static one-shot selection (Sec. VI-D1)", PlannerSelection},
 		{"table2", "Per-sample runtime of serverless variants (Table II)", Table2PerSample},
 		{"table3", "HGP-DNN vs random partitioning (Table III)", Table3Partitioning},

@@ -367,3 +367,93 @@ func TestChannelComparisonRegimes(t *testing.T) {
 		}
 	}
 }
+
+func TestClusterThroughputScalesPastCeiling(t *testing.T) {
+	// Headline (a): one provisioned node pins at its request-rate
+	// ceiling; hashing the keyspace across shards serves past it,
+	// roughly linearly.
+	tab := table(t, "cluster")
+	ops := func(key string) float64 {
+		t.Helper()
+		s, ok := tab.Cell(key, "ops/s")
+		if !ok {
+			t.Fatalf("no cell (%s, ops/s)", key)
+		}
+		v, err := strconv.ParseFloat(strings.Fields(s)[0], 64)
+		if err != nil {
+			t.Fatalf("cell %q not numeric", s)
+		}
+		return v
+	}
+	one := ops("throughput 1 shard(s)")
+	two := ops("throughput 2 shard(s)")
+	four := ops("throughput 4 shard(s)")
+	const ceiling = 40_000 // cache.t3.small MaxOpsPerSec
+	if one > ceiling*1.10 {
+		t.Fatalf("single node served %.0f ops/s, above its %d ceiling", one, ceiling)
+	}
+	if two <= ceiling*1.3 {
+		t.Fatalf("2 shards served %.0f ops/s, not past the single-node ceiling", two)
+	}
+	if four <= two*1.3 {
+		t.Fatalf("4 shards served %.0f ops/s, not meaningfully past 2 shards' %.0f", four, two)
+	}
+}
+
+func TestClusterFailoverLadder(t *testing.T) {
+	// Headline (b): a mid-run KillNode with R=2 completes with zero lost
+	// messages; R=0 and R=1 lose in-flight values the run must re-send
+	// and stall through the failover window — with replica node-hours
+	// visible in the cost breakdown.
+	tab := table(t, "cluster")
+	baseLat := cellFloat(t, tab, "no failure R=0", "latency ms")
+	for _, key := range []string{"kill mid-run R=0", "kill mid-run R=1"} {
+		lost := cellFloat(t, tab, key, "lost")
+		resent := cellFloat(t, tab, key, "resent")
+		if lost <= 0 || resent <= 0 {
+			t.Fatalf("%s: lost %.0f / resent %.0f, want both positive", key, lost, resent)
+		}
+		if lat := cellFloat(t, tab, key, "latency ms"); lat <= baseLat {
+			t.Fatalf("%s: latency %.2f ms not above the %.2f ms no-failure baseline", key, lat, baseLat)
+		}
+	}
+	if lost := cellFloat(t, tab, "kill mid-run R=2", "lost"); lost != 0 {
+		t.Fatalf("R=2 lost %.0f values; quorum replication must hide a single kill", lost)
+	}
+	if resent := cellFloat(t, tab, "kill mid-run R=2", "resent"); resent != 0 {
+		t.Fatalf("R=2 re-sent %.0f values; nothing should have been lost", resent)
+	}
+	kv := func(key string) (total, replicas float64) {
+		t.Helper()
+		s, ok := tab.Cell(key, "KV $ (replicas $)")
+		if !ok {
+			t.Fatalf("no cell (%s, KV $)", key)
+		}
+		parts := strings.Fields(s)
+		total, err1 := strconv.ParseFloat(parts[0], 64)
+		replicas, err2 := strconv.ParseFloat(strings.Trim(parts[1], "()"), 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("cell %q not parseable", s)
+		}
+		return total, replicas
+	}
+	t0, r0 := kv("kill mid-run R=0")
+	t2, r2 := kv("kill mid-run R=2")
+	if r0 != 0 {
+		t.Fatalf("R=0 shows $%.4f replica spend", r0)
+	}
+	if r2 <= 0 || t2 <= t0 {
+		t.Fatalf("R=2 replica premium not visible: total $%.4f (replicas $%.4f) vs R=0 $%.4f", t2, r2, t0)
+	}
+	// The planner note closes the loop: a saturating volume picks the
+	// sharded candidate.
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "2 shards") && strings.Contains(n, "Plan picks") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no planner note picking the sharded candidate:\n%v", tab.Notes)
+	}
+}

@@ -21,6 +21,7 @@ package plan
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"fsdinference/internal/cloud/env"
@@ -64,6 +65,26 @@ type Candidate struct {
 	// KVNodeType is the provisioned store node type (Memory channel
 	// only; empty otherwise).
 	KVNodeType string
+	// KVNodes is the provisioned cluster's primary shard count (Memory
+	// channel only; 0 means the single-node default). Sharding buys
+	// aggregate request-rate and bandwidth headroom at extra node-hours.
+	KVNodes int
+	// KVReplicas is the replica count per shard (Memory channel only;
+	// 0 means none). Replicas buy failover behaviour at extra
+	// node-hours: the availability-versus-cost axis.
+	KVReplicas int
+}
+
+// clusterNodes returns the candidate's total provisioned node count.
+func (c Candidate) clusterNodes() int {
+	if c.Channel != core.Memory {
+		return 0
+	}
+	shards := c.KVNodes
+	if shards < 1 {
+		shards = 1
+	}
+	return shards * (1 + c.KVReplicas)
 }
 
 // String renders the candidate for tables and reports.
@@ -72,8 +93,20 @@ func (c Candidate) String() string {
 		return c.Channel.String()
 	}
 	s := fmt.Sprintf("%v x%d", c.Channel, c.Workers)
-	if c.Channel == core.Memory && c.KVNodeType != "" && c.KVNodeType != core.DefaultKVNodeType {
-		s += " (" + c.KVNodeType + ")"
+	if c.Channel == core.Memory {
+		var extras []string
+		if c.KVNodeType != "" && c.KVNodeType != core.DefaultKVNodeType {
+			extras = append(extras, c.KVNodeType)
+		}
+		if c.KVNodes > 1 {
+			extras = append(extras, fmt.Sprintf("%d shards", c.KVNodes))
+		}
+		if c.KVReplicas > 0 {
+			extras = append(extras, fmt.Sprintf("R=%d", c.KVReplicas))
+		}
+		if len(extras) > 0 {
+			s += " (" + strings.Join(extras, ", ") + ")"
+		}
 	}
 	return s
 }
@@ -125,6 +158,14 @@ type Grid struct {
 	// KVNodeTypes lists the provisioned-store node sizes to consider
 	// for Memory candidates (default: the catalogue's default node).
 	KVNodeTypes []string
+	// KVNodes lists cluster shard counts to explore for Memory
+	// candidates (default: just the single node). Sharding relieves a
+	// saturated per-node request-rate ceiling at extra node-hours.
+	KVNodes []int
+	// KVReplicas lists per-shard replica counts to explore for Memory
+	// candidates (default: none). Replicas cut failover loss at extra
+	// node-hours.
+	KVReplicas []int
 }
 
 func (g Grid) withDefaults() Grid {
@@ -137,7 +178,31 @@ func (g Grid) withDefaults() Grid {
 	if len(g.KVNodeTypes) == 0 {
 		g.KVNodeTypes = []string{core.DefaultKVNodeType}
 	}
+	if len(g.KVNodes) == 0 {
+		g.KVNodes = []int{1}
+	}
+	if len(g.KVReplicas) == 0 {
+		g.KVReplicas = []int{0}
+	}
 	return g
+}
+
+// hasSingleNode reports whether the grid still contains the plain
+// single-node, replica-free memory variant — the baseline the
+// cost-dominance prune compares sharded/replicated candidates against.
+func (g Grid) hasSingleNode() bool {
+	one, zero := false, false
+	for _, n := range g.KVNodes {
+		if n <= 1 {
+			one = true
+		}
+	}
+	for _, r := range g.KVReplicas {
+		if r == 0 {
+			zero = true
+		}
+	}
+	return one && zero
 }
 
 // Options configures a Planner.
@@ -158,6 +223,11 @@ type Options struct {
 	// NewEnv supplies fresh scratch environments for trials (default
 	// env.NewDefault).
 	NewEnv func() *env.Env
+	// DeployOverride mutates every candidate configuration after
+	// assembly — both trial deployments and the decision's returned
+	// Config — mirroring serve.WithDeployOverride (threads, polling,
+	// failover windows).
+	DeployOverride func(*core.Config)
 }
 
 // Planner selects deployment configurations for one model. It caches
@@ -395,7 +465,20 @@ func (p *Planner) candidates() []Candidate {
 		}
 		if hasChannel(core.Memory) {
 			for _, nt := range g.KVNodeTypes {
-				cands = append(cands, Candidate{Channel: core.Memory, Workers: w, KVNodeType: nt})
+				for _, nodes := range g.KVNodes {
+					if nodes < 1 {
+						nodes = 1
+					}
+					for _, reps := range g.KVReplicas {
+						if reps < 0 {
+							reps = 0
+						}
+						cands = append(cands, Candidate{
+							Channel: core.Memory, Workers: w, KVNodeType: nt,
+							KVNodes: nodes, KVReplicas: reps,
+						})
+					}
+				}
 			}
 		}
 	}
@@ -437,6 +520,11 @@ func (p *Planner) config(c Candidate) (core.Config, error) {
 	}
 	if c.Channel == core.Memory {
 		cfg.KVNodeType = c.KVNodeType
+		cfg.KVNodes = c.KVNodes
+		cfg.KVReplicas = c.KVReplicas
+	}
+	if p.opts.DeployOverride != nil {
+		p.opts.DeployOverride(&cfg)
 	}
 	return cfg, nil
 }
@@ -471,11 +559,10 @@ func (p *Planner) runTrial(c Candidate, batch int) measurement {
 	}
 	m := measurement{latency: res.Latency, cost: res.Cost.Total(), kvCost: res.Cost.KV}
 	if c.Channel == core.Memory {
-		nodeType := c.KVNodeType
-		if nodeType == "" {
-			nodeType = core.DefaultKVNodeType
-		}
-		nodes := d.Cfg.KVNodes
+		nodeType := d.Cfg.KVNodeType
+		// The flat daily bill covers the whole cluster: primaries times
+		// (1 + replicas) — the shard/replica axes both price in here.
+		nodes := d.Cfg.KVNodes * (1 + d.Cfg.KVReplicas)
 		if nodes <= 0 {
 			nodes = 1
 		}
@@ -525,4 +612,27 @@ func measuredBreakEven(trials []Trial) int64 {
 // on; the serving layer re-plans when the observed side flips.
 func BreakEvenSide(queriesPerDay, breakEven int64) bool {
 	return breakEven > 0 && queriesPerDay >= breakEven
+}
+
+// CrossedBreakEven reports whether a workload that previously scored
+// prev queries/day has crossed the break-even to now queries/day with a
+// hysteresis band of +-band (a fraction of the break-even): the flip
+// fires only once the observed volume clears the far edge of the band.
+// A workload hovering at the break-even — oscillating a few percent
+// either side — therefore stays put instead of flapping the deployment
+// back and forth on every EWMA wiggle. band <= 0 degenerates to the
+// plain side comparison.
+func CrossedBreakEven(prev, now, breakEven int64, band float64) bool {
+	if breakEven <= 0 || now <= 0 {
+		return false
+	}
+	if band < 0 {
+		band = 0
+	}
+	if BreakEvenSide(prev, breakEven) {
+		// Above: only a drop below the band's lower edge flips down.
+		return float64(now) < float64(breakEven)*(1-band)
+	}
+	// Below: only a rise past the band's upper edge flips up.
+	return float64(now) > float64(breakEven)*(1+band)
 }

@@ -80,14 +80,48 @@ func (p *Planner) prefilter(c Candidate, profile WorkloadProfile) (reason string
 		if !cost.MemoryValueFeasible(w.BytesPerPairPerLayer) {
 			return fmt.Sprintf("per-pair volume %d B exceeds the store's single-value cap", w.BytesPerPairPerLayer), 0, nil
 		}
+		shards := c.KVNodes
+		if shards < 1 {
+			shards = 1
+		}
+		// Feasibility: the sustained op rate must fit the cluster's
+		// aggregate request-rate ceiling (each shard enforces its own).
+		// This is the rule that relieves a saturated single node by
+		// steering the pick to a sharded candidate.
+		if cost.MemoryClusterSaturated(w, c.KVNodeType, shards) {
+			return fmt.Sprintf("sustained volume needs ~%d ops/s, saturating %d shard(s) of %s",
+				cost.MemoryOpsPerQuery(w)*profile.QueriesPerDay/86400, shards, c.KVNodeType), 0, nil
+		}
 		cat := pricing.Default()
 		if c.KVNodeType != "" {
 			w.MemoryNodeHourly = cat.KVNodeHourly[c.KVNodeType]
+		}
+		// The flat daily bill grows with the cluster: shards times
+		// (1 + replicas) nodes all accrue hours, so the break-even
+		// volume scales with the node count.
+		if n := c.clusterNodes(); n > 1 {
+			rate := w.MemoryNodeHourly
+			if rate <= 0 {
+				rate = cat.KVNodeHourly[core.DefaultKVNodeType]
+			}
+			w.MemoryNodeHourly = rate * float64(n)
 		}
 		be := cost.MemoryBreakEvenQueriesPerDay(cat, w)
 		if costOnly && profile.QueriesPerDay > 0 && profile.QueriesPerDay*prefilterMargin < be {
 			return fmt.Sprintf("idle billing: %d queries/day is far below the ~%d/day break-even, so the node mostly bills idle",
 				profile.QueriesPerDay, be), be, nil
+		}
+		// Cost dominance inside the memory grid: extra shards and
+		// replicas add strictly more node-hours with zero per-request
+		// savings, so a pure cost objective keeps only the single-node
+		// variant — when the grid still offers it AND the single node
+		// can actually carry the volume. Latency-weighted objectives
+		// trial the larger clusters; replica counts always cost more,
+		// but the failover loss they prevent is not priced analytically.
+		if costOnly && c.clusterNodes() > 1 && p.opts.Grid.hasSingleNode() &&
+			!cost.MemoryClusterSaturated(w, c.KVNodeType, 1) {
+			return fmt.Sprintf("%d cluster nodes bill %dx the single node's flat rate with no per-request savings; dominated on pure cost",
+				c.clusterNodes(), c.clusterNodes()), be, nil
 		}
 		return "", be, nil
 	case core.Queue:

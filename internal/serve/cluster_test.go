@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/core"
+	"fsdinference/internal/model"
+	"fsdinference/internal/workload"
+)
+
+// The cluster extension of the per-run teardown leak check: overlapping
+// runs on a sharded, replicated Memory-channel endpoint must unwind
+// every cluster node — each shard's primary and replica — to zero run
+// keys once the runs drain.
+func TestShardedClusterEndpointTearsDownEveryShard(t *testing.T) {
+	e := env.NewDefault()
+	m := testModel(t, 256, 6)
+	svc, err := NewService(e,
+		WithEndpoint("mem", m, WithChannel(core.Memory), WithWorkers(3),
+			WithDeployOverride(func(c *core.Config) {
+				c.KVNodes = 2
+				c.KVReplicas = 1
+			})),
+		WithCoalescing(4, 0),
+		WithRunConcurrency(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handles []*Handle
+	for i := 0; i < 4; i++ {
+		handles = append(handles, svc.Submit("mem", model.GenerateInputs(256, 4, 0.2, int64(2+i)), 0))
+	}
+	if err := svc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		if _, err := h.Wait(); err != nil {
+			t.Fatalf("run %d failed: %v", i, err)
+		}
+	}
+	ep := svc.byName["mem"]
+	if ep.stats.MaxConcurrent < 2 {
+		t.Fatalf("runs never overlapped (max concurrent %d); teardown untested", ep.stats.MaxConcurrent)
+	}
+	for _, rep := range ep.sched.pool {
+		cl := rep.d.KVCluster()
+		if cl == nil {
+			t.Fatal("memory endpoint replica has no cluster")
+		}
+		if got := len(cl.Nodes()); got != 4 {
+			t.Fatalf("replica cluster has %d nodes, want 2 shards x (1+1)", got)
+		}
+		for node, keys := range cl.NumKeysByNode() {
+			if keys != 0 {
+				t.Fatalf("node %s holds %d keys after overlapping runs", node, keys)
+			}
+		}
+	}
+	if n := e.KV.NumKeys(); n != 0 {
+		t.Fatalf("%d keys left in the store service after teardown", n)
+	}
+}
+
+// A mid-replay shard kill surfaces in the ServiceReport: the failover,
+// the lost and re-sent values, the replica node-hours that cushioned
+// nothing (R=1 still loses the async pipe) and the per-shard breakdown.
+func TestReplayReportCarriesFailoverStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover replay is a long simulation")
+	}
+	e := env.NewDefault()
+	m := testModel(t, 256, 6)
+	svc, err := NewService(e,
+		WithEndpoint("mem", m, WithChannel(core.Memory), WithWorkers(4),
+			WithDeployOverride(func(c *core.Config) {
+				c.KVNodes = 2
+				c.KVReplicas = 1
+				c.KVFailoverWindow = 2 * time.Second
+				c.KVReplicationLag = 300 * time.Millisecond
+			})),
+		WithCoalescing(8, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := svc.byName["mem"].sched.pool[0].d.KVCluster()
+	// The late query stretches the window past the nodes' 60s billing
+	// floor, so every shard accrues in-window hours for the breakdown.
+	trace := []workload.Query{
+		{At: 0, Neurons: 256, Samples: 8},
+		{At: 2 * time.Minute, Neurons: 256, Samples: 8},
+	}
+	killed := false
+	rep, err := svc.Replay(trace, ReplayOptions{
+		Seed:   11,
+		Verify: true,
+		// Route is called after the replay window opens, so the kill it
+		// schedules lands inside the measured window, mid-run.
+		Route: func(q workload.Query) (string, bool) {
+			if !killed {
+				killed = true
+				e.K.At(1800*time.Millisecond, func() {
+					if err := cl.KillNode(0); err != nil {
+						t.Errorf("kill: %v", err)
+					}
+				})
+			}
+			return "mem", true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d failed queries:\n%s", rep.Failed, rep)
+	}
+	if rep.KVFailovers != 1 {
+		t.Fatalf("report carries %d failovers, want 1:\n%s", rep.KVFailovers, rep)
+	}
+	if rep.KVLostValues <= 0 || rep.KVResends <= 0 {
+		t.Fatalf("R=1 kill lost %d / re-sent %d values, want both positive:\n%s",
+			rep.KVLostValues, rep.KVResends, rep)
+	}
+	if rep.KVReplicaHours <= 0 || rep.TotalCost.KVReplica <= 0 {
+		t.Fatalf("replica capacity not metered: %.4f hours, $%.4f", rep.KVReplicaHours, rep.TotalCost.KVReplica)
+	}
+	if len(rep.KVShardHours) < 2 {
+		t.Fatalf("per-shard breakdown has %d entries, want both shards: %v", len(rep.KVShardHours), rep.KVShardHours)
+	}
+	for shard, h := range rep.KVShardHours {
+		if cost := rep.KVShardCost[shard]; cost <= 0 {
+			t.Fatalf("shard %s has %.3f hours but $%.4f priced", shard, h, cost)
+		}
+	}
+	out := rep.String()
+	for _, want := range []string{"store failovers:", "replicas:", "shard "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report does not surface %q:\n%s", want, out)
+		}
+	}
+}

@@ -263,6 +263,12 @@ type SLOOptions struct {
 	// either direction (values <= 1 disable the batch-drift trigger;
 	// the break-even arrival-rate trigger is always armed).
 	ReselectFactor float64
+	// BreakEvenHysteresis widens the arrival-rate trigger into a band
+	// around the memory break-even: the observed volume must clear the
+	// break-even by this fraction (default 0.2, i.e. +-20%) before a
+	// re-plan fires, so workloads hovering at the break-even stop
+	// flapping between configurations. Negative disables the band.
+	BreakEvenHysteresis float64
 	// MinRuns is how many runs must be observed between re-plans
 	// (default 16).
 	MinRuns int
@@ -273,6 +279,12 @@ type SLOOptions struct {
 func (o SLOOptions) withDefaults() SLOOptions {
 	if o.ProbeBatch <= 0 {
 		o.ProbeBatch = 32
+	}
+	if o.BreakEvenHysteresis == 0 {
+		o.BreakEvenHysteresis = 0.2
+	}
+	if o.BreakEvenHysteresis < 0 {
+		o.BreakEvenHysteresis = 0
 	}
 	if o.MinRuns <= 0 {
 		o.MinRuns = 16

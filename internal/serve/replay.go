@@ -219,6 +219,23 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	rep.TotalCost = used.Cost(s.env.Pricing)
 	rep.KVGBHours = used.KVGBHours
 	rep.KVOps = used.KVOps
+	for _, h := range used.KVReplicaHours {
+		rep.KVReplicaHours += h
+	}
+	for shard, h := range used.KVShardHours {
+		if h <= 0 {
+			continue
+		}
+		if rep.KVShardHours == nil {
+			rep.KVShardHours = make(map[string]float64)
+		}
+		rep.KVShardHours[shard] = h
+	}
+	rep.KVShardCost = used.KVShardCost(s.env.Pricing)
+	rep.KVFailovers = used.KVFailovers
+	rep.KVLostValues = used.KVLostValues
+	rep.KVResends = used.KVResends
+	rep.KVMoved = used.KVMoved
 	rep.ColdStarts = s.env.FaaS.ColdStarts - cold0
 	rep.WarmStarts = s.env.FaaS.WarmStarts - warm0
 	return rep, nil

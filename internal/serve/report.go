@@ -169,6 +169,20 @@ type Report struct {
 	KVGBHours float64
 	KVOps     int64
 
+	// Cluster stats over the window: replica node-hours (the
+	// availability premium, included in TotalCost.KV), the per-shard
+	// node-hour breakdown, failovers triggered by fault injection,
+	// values lost to lossy failovers, values the memory channel re-sent
+	// from sender buffers to recover, and MOVED-style redirects paid
+	// after topology changes.
+	KVReplicaHours float64
+	KVShardHours   map[string]float64
+	KVShardCost    map[string]float64
+	KVFailovers    int64
+	KVLostValues   int64
+	KVResends      int64
+	KVMoved        int64
+
 	// ColdStarts and WarmStarts count platform-wide function instance
 	// launches during the replay.
 	ColdStarts int
@@ -216,6 +230,24 @@ func (r *Report) String() string {
 	if r.KVGBHours > 0 {
 		fmt.Fprintf(&sb, "provisioned memory store: %.3f GB-hours ($%.4f), %d ops (no per-request charge)\n",
 			r.KVGBHours, r.TotalCost.KV, r.KVOps)
+	}
+	if r.KVReplicaHours > 0 {
+		fmt.Fprintf(&sb, "  replicas: %.3f node-hours ($%.4f) buying failover cover\n",
+			r.KVReplicaHours, r.TotalCost.KVReplica)
+	}
+	if len(r.KVShardHours) > 0 {
+		shards := make([]string, 0, len(r.KVShardHours))
+		for s := range r.KVShardHours {
+			shards = append(shards, s)
+		}
+		sort.Strings(shards)
+		for _, s := range shards {
+			fmt.Fprintf(&sb, "  shard %s: %.3f node-hours ($%.4f)\n", s, r.KVShardHours[s], r.KVShardCost[s])
+		}
+	}
+	if r.KVFailovers > 0 {
+		fmt.Fprintf(&sb, "store failovers: %d, %d value(s) lost, %d re-sent, %d MOVED redirect(s)\n",
+			r.KVFailovers, r.KVLostValues, r.KVResends, r.KVMoved)
 	}
 	fmt.Fprintf(&sb, "instance starts: %d cold / %d warm\n", r.ColdStarts, r.WarmStarts)
 	return sb.String()

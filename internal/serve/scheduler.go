@@ -515,6 +515,7 @@ func (sc *scheduler) finishRun(rep *replica, b *batch, res *core.Result, err err
 	ep.stats.Cost.S3 += res.Cost.S3
 	ep.stats.Cost.EC2 += res.Cost.EC2
 	ep.stats.Cost.KV += res.Cost.KV
+	ep.stats.Cost.KVReplica += res.Cost.KVReplica
 	for _, w := range res.Workers {
 		if w.Warm {
 			ep.stats.WarmStarts++

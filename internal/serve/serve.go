@@ -328,6 +328,7 @@ func (s endpointStats) sub(prev endpointStats) endpointStats {
 	s.Cost.S3 -= prev.Cost.S3
 	s.Cost.EC2 -= prev.Cost.EC2
 	s.Cost.KV -= prev.Cost.KV
+	s.Cost.KVReplica -= prev.Cost.KVReplica
 	return s
 }
 
@@ -549,7 +550,10 @@ func (ep *Endpoint) observeRun(samples int) {
 	observedQPD := ep.sched.queriesPerDay()
 	if d := st.decision; reason == "" && d != nil && observedQPD > 0 {
 		be := d.MemoryBreakEvenQueriesPerDay
-		if plan.BreakEvenSide(observedQPD, be) != plan.BreakEvenSide(d.Profile.QueriesPerDay, be) {
+		// The hysteresis band keeps workloads hovering at the break-even
+		// from flapping: the observed volume must clear the far edge of
+		// the +-BreakEvenHysteresis band before the trigger fires.
+		if plan.CrossedBreakEven(d.Profile.QueriesPerDay, observedQPD, be, st.opts.BreakEvenHysteresis) {
 			reason = fmt.Sprintf("arrival rate crossed the memory break-even (%d vs ~%d queries/day)",
 				observedQPD, be)
 		}

@@ -37,6 +37,11 @@ type benchPoint struct {
 	Queries   int    `json:"queries"`
 	Samples   int    `json:"samples"`
 	Failed    int    `json:"failed"`
+
+	// Cluster-channel gate (BENCH_4 onward): guarded like the serving
+	// replay once both the new point and the baseline carry it.
+	ClusterBenchmark string `json:"cluster_benchmark"`
+	ClusterNsPerOp   int64  `json:"cluster_ns_per_op"`
 }
 
 var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
@@ -126,8 +131,12 @@ func printHistory(dir string) error {
 		if name == "" {
 			name = "?"
 		}
-		fmt.Printf("BENCH_%-2d %-16s %14d %10d %9d %9s\n",
+		fmt.Printf("BENCH_%-2d %-16s %14d %10d %9d %9s",
 			seqs[i], name, pt.NsPerOp, pt.Queries, pt.Samples, change)
+		if pt.ClusterNsPerOp > 0 {
+			fmt.Printf("  cluster %d ns/op", pt.ClusterNsPerOp)
+		}
+		fmt.Println()
 		prev = pt.NsPerOp
 	}
 	return nil
@@ -203,6 +212,22 @@ func main() {
 	if change > *threshold {
 		log.Fatalf("benchguard: serving replay regressed %.1f%% (> %.0f%% allowed)",
 			100*change, 100**threshold)
+	}
+	// The cluster-channel gate joins the trajectory at BENCH_4: older
+	// baselines carry no cluster point, so the first cluster-bearing file
+	// just starts that series.
+	switch {
+	case cur.ClusterNsPerOp > 0 && prev.ClusterNsPerOp > 0:
+		cchange := float64(cur.ClusterNsPerOp-prev.ClusterNsPerOp) / float64(prev.ClusterNsPerOp)
+		fmt.Printf("benchguard: cluster channel %d ns/op vs %d ns/op (%+.1f%%)\n",
+			cur.ClusterNsPerOp, prev.ClusterNsPerOp, 100*cchange)
+		if cchange > *threshold {
+			log.Fatalf("benchguard: cluster channel regressed %.1f%% (> %.0f%% allowed)",
+				100*cchange, 100**threshold)
+		}
+	case cur.ClusterNsPerOp > 0:
+		fmt.Printf("benchguard: no earlier cluster point; %s starts that series at %d ns/op\n",
+			*newPath, cur.ClusterNsPerOp)
 	}
 	fmt.Println("benchguard: within budget")
 }

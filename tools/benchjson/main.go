@@ -2,7 +2,10 @@
 // BenchmarkServiceReplay) through testing.Benchmark and writes a BENCH_N
 // JSON file: wall-clock ns/op plus the replay's measured report stats, so
 // every PR can append a point to the perf trajectory without parsing go
-// test output.
+// test output. From BENCH_4 on, the point also carries the cluster-channel
+// benchmark (the BenchmarkClusterChannel workload: one inference over a
+// 2-shard, 1-replica memory-store cluster), guarded by benchguard
+// alongside the serving-replay gate.
 //
 // Usage:
 //
@@ -36,6 +39,11 @@ type benchReport struct {
 	TotalCostUSD float64 `json:"total_cost_usd"`
 	ColdStarts   int     `json:"cold_starts"`
 	WarmStarts   int     `json:"warm_starts"`
+
+	// Cluster-channel point (BENCH_4 onward; zero in earlier files, so
+	// benchguard skips the comparison against pre-cluster baselines).
+	ClusterBenchmark string `json:"cluster_benchmark,omitempty"`
+	ClusterNsPerOp   int64  `json:"cluster_ns_per_op,omitempty"`
 }
 
 func main() {
@@ -75,6 +83,32 @@ func main() {
 		log.Fatal("benchmark produced no report")
 	}
 
+	// The cluster-channel point: one inference over a 2-shard, 1-replica
+	// memory-store cluster, matching BenchmarkClusterChannel.
+	mCluster, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusterPlan, err := fsdinference.BuildPlan(mCluster, 4, fsdinference.Block, fsdinference.PartitionOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusterInput := fsdinference.GenerateInputs(256, 16, 0.2, 2)
+	clusterRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := fsdinference.Deploy(fsdinference.NewEnv(), fsdinference.Config{
+				Model: mCluster, Plan: clusterPlan, Channel: fsdinference.Memory,
+				KVNodes: 2, KVReplicas: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Infer(clusterInput); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	br := benchReport{
 		Benchmark:    "BenchmarkServiceReplay",
 		NsPerOp:      res.NsPerOp(),
@@ -88,6 +122,9 @@ func main() {
 		TotalCostUSD: rep.TotalCost.Total(),
 		ColdStarts:   rep.ColdStarts,
 		WarmStarts:   rep.WarmStarts,
+
+		ClusterBenchmark: "BenchmarkClusterChannel",
+		ClusterNsPerOp:   clusterRes.NsPerOp(),
 	}
 	data, err := json.MarshalIndent(br, "", "  ")
 	if err != nil {
