@@ -270,3 +270,73 @@ func BenchmarkEngineQueueRun(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAllreduce drives one inference whose closing reduce is a true
+// allreduce at P=32 on the memory channel, flat versus binomial tree —
+// the collectives subsystem's hot path (BENCH_5 onward), where the flat
+// root frames the combined result once per target and the tree amortises
+// that over ceil(log2 P) rounds.
+func BenchmarkAllreduce(b *testing.B) {
+	m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := fsdinference.BuildPlan(m, 32, fsdinference.Block, fsdinference.PartitionOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := fsdinference.GenerateInputs(256, 16, 0.2, 2)
+	for _, tc := range []struct {
+		name string
+		alg  fsdinference.CollectiveAlgorithm
+	}{{"flat", fsdinference.FlatCollective}, {"tree", fsdinference.TreeCollective}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := fsdinference.Deploy(fsdinference.NewEnv(), fsdinference.Config{
+					Model: m, Plan: plan, Channel: fsdinference.Memory,
+					Collective: tc.alg, AllreduceOutput: true, Compress: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.Infer(input); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHybridChannel drives one inference over the size-aware hybrid
+// channel with a threshold low enough that both paths run hot: control
+// values ride the in-memory store, bulk values chunk into object storage
+// behind inline pointers with pipelined fetch (BENCH_5 onward).
+func BenchmarkHybridChannel(b *testing.B) {
+	m, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := fsdinference.BuildPlan(m, 8, fsdinference.HGPDNN, fsdinference.PartitionOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := fsdinference.GenerateInputs(256, 64, 0.2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := fsdinference.Deploy(fsdinference.NewEnv(), fsdinference.Config{
+			Model: m, Plan: plan, Channel: fsdinference.Hybrid,
+			HybridThresholdBytes: 2 << 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := d.Infer(input)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Usage.HybridBulkValues == 0 || res.Usage.HybridSmallValues == 0 {
+			b.Fatalf("hybrid split not exercised: %d small / %d bulk",
+				res.Usage.HybridSmallValues, res.Usage.HybridBulkValues)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	fsdinfer [-neurons N] [-layers L] [-workers P] [-batch B]
-//	         [-channel serial|queue|object|memory] [-scheme block|random|hgp]
+//	         [-channel serial|queue|object|memory|hybrid] [-scheme block|random|hgp]
 //	         [-verify]
 package main
 
@@ -21,7 +21,7 @@ func main() {
 	layers := flag.Int("layers", 24, "layer count")
 	workers := flag.Int("workers", 8, "FaaS worker parallelism")
 	batch := flag.Int("batch", 64, "samples per request")
-	channel := flag.String("channel", "queue", "communication channel: serial, queue, object or memory")
+	channel := flag.String("channel", "queue", "communication channel: serial, queue, object, memory or hybrid")
 	scheme := flag.String("scheme", "hgp", "partitioning: block, random or hgp")
 	seed := flag.Int64("seed", 1, "generation seed")
 	verify := flag.Bool("verify", true, "check the output against reference inference")
@@ -37,6 +37,8 @@ func main() {
 		kind = fsdinference.Object
 	case "memory":
 		kind = fsdinference.Memory
+	case "hybrid":
+		kind = fsdinference.Hybrid
 	default:
 		fatal("unknown channel %q", *channel)
 	}

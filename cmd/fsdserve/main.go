@@ -30,7 +30,7 @@ func main() {
 	batch := flag.Int("batch", 32, "buffered samples per query")
 	layers := flag.Int("layers", 12, "layer count per model")
 	workers := flag.Int("workers", 1, "FaaS worker parallelism per endpoint")
-	channel := flag.String("channel", "", "channel: serial, queue, object or memory (default: serial, or queue when workers > 1)")
+	channel := flag.String("channel", "", "channel: serial, queue, object, memory or hybrid (default: serial, or queue when workers > 1)")
 	replicas := flag.Int("replicas", 2, "warm deployment replicas per endpoint (fixed pool)")
 	autoscale := flag.Bool("autoscale", false, "scale each endpoint's pool from queue depth and arrival rate instead of a fixed size")
 	maxReplicas := flag.Int("max-replicas", 4, "autoscaler pool bound (with -autoscale)")
@@ -87,6 +87,8 @@ func main() {
 		epOpts = append(epOpts, fsdinference.WithChannel(fsdinference.Object))
 	case "memory":
 		epOpts = append(epOpts, fsdinference.WithChannel(fsdinference.Memory))
+	case "hybrid":
+		epOpts = append(epOpts, fsdinference.WithChannel(fsdinference.Hybrid))
 	default:
 		fatal("unknown channel %q", *channel)
 	}

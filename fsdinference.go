@@ -28,6 +28,7 @@ import (
 	"fsdinference/internal/cloud/env"
 	"fsdinference/internal/cloud/kvcluster"
 	"fsdinference/internal/cloud/pricing"
+	"fsdinference/internal/collective"
 	"fsdinference/internal/core"
 	"fsdinference/internal/cost"
 	"fsdinference/internal/experiments"
@@ -127,12 +128,35 @@ type (
 )
 
 // Communication variants (paper §III, plus the provisioned in-memory
-// store of §II-D: memory-speed ops billed by node-hour, not per request).
+// store of §II-D: memory-speed ops billed by node-hour, not per request,
+// and the size-aware hybrid built on top of it).
 const (
 	Serial = core.Serial
 	Queue  = core.Queue
 	Object = core.Object
 	Memory = core.Memory
+	// Hybrid routes each value by size: control traffic at or below
+	// Config.HybridThresholdBytes rides the in-memory store inline, bulk
+	// tensors are chunked into object storage and announced by an inline
+	// pointer, fetched through a pipelined chunk pool.
+	Hybrid = core.Hybrid
+)
+
+// The collectives subsystem (internal/collective): Barrier, Broadcast,
+// Reduce/Allreduce, Scatter and Gather over the deployment's channel,
+// under flat (the paper's root-funnelled pattern), binomial-tree or ring
+// topologies. Config.Collective selects one; AutoCollective picks the
+// analytically cheapest per call from the channel's latency/bandwidth
+// traits, and Config.AllreduceOutput materialises the reduced inference
+// output at every worker instead of only worker 0.
+type CollectiveAlgorithm = collective.Algorithm
+
+// Collective topologies.
+const (
+	FlatCollective = collective.Flat
+	TreeCollective = collective.Tree
+	RingCollective = collective.Ring
+	AutoCollective = collective.AutoAlgo
 )
 
 // DefaultKVNodeType is the provisioned store node the Memory channel uses

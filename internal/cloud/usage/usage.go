@@ -69,6 +69,19 @@ type Meter struct {
 	KVLostValues int64
 	KVResends    int64
 	KVMoved      int64
+
+	// Collectives counts collective operations by "op/algorithm" key
+	// (e.g. "barrier/tree"), one count per P-worker collective.
+	Collectives map[string]int64
+
+	// Hybrid-channel routing counters: values that stayed on the
+	// memory-store control path, values whose bulk payload was chunked
+	// into object storage (with their pre-chunk byte volume), and the
+	// total chunk objects written.
+	HybridSmallValues int64
+	HybridBulkValues  int64
+	HybridBulkBytes   int64
+	HybridChunks      int64
 }
 
 // NewMeter returns an empty meter.
@@ -78,7 +91,17 @@ func NewMeter() *Meter {
 		KVNodeHours:    make(map[string]float64),
 		KVReplicaHours: make(map[string]float64),
 		KVShardHours:   make(map[string]float64),
+		Collectives:    make(map[string]int64),
 	}
+}
+
+// AddCollective records one collective operation run under the given
+// algorithm ("barrier"/"tree", "allreduce"/"ring", ...).
+func (m *Meter) AddCollective(op, alg string) {
+	if m.Collectives == nil {
+		m.Collectives = make(map[string]int64)
+	}
+	m.Collectives[op+"/"+alg]++
 }
 
 // AddEC2Hours records h hours of usage for the given instance type.
@@ -133,6 +156,10 @@ func (m *Meter) Snapshot() Meter {
 	for k, v := range m.KVShardHours {
 		c.KVShardHours[k] = v
 	}
+	c.Collectives = make(map[string]int64, len(m.Collectives))
+	for k, v := range m.Collectives {
+		c.Collectives[k] = v
+	}
 	return c
 }
 
@@ -172,6 +199,13 @@ func (m *Meter) Sub(prev Meter) Meter {
 	}
 	for k, v := range prev.KVShardHours {
 		d.KVShardHours[k] -= v
+	}
+	d.HybridSmallValues -= prev.HybridSmallValues
+	d.HybridBulkValues -= prev.HybridBulkValues
+	d.HybridBulkBytes -= prev.HybridBulkBytes
+	d.HybridChunks -= prev.HybridChunks
+	for k, v := range prev.Collectives {
+		d.Collectives[k] -= v
 	}
 	return d
 }

@@ -45,6 +45,23 @@ type memoryChannel struct {
 	// predating the run cannot concern it, but a kill mid-run concerns
 	// every worker — including instances that launch after it.
 	resentAt map[string]int64
+	// resolveBulk, when set (Hybrid channel), resolves the bulk-pointer
+	// frames a receive loop collected: each frame names chunks parked in
+	// object storage, and the hook fetches every named chunk — across all
+	// pointers — through one wide transfer pool, then delivers them. The
+	// pointer frames themselves still travel (and replay after a
+	// failover) through the in-memory inbox like any other value; the
+	// receive loop defers their resolution until the gather completes so
+	// one pool round amortises the object store's read latency over every
+	// bulk source instead of paying it per source.
+	resolveBulk func(w *worker, pending []bulkRef, deliver func(src int32, rs *wire.RowSet)) error
+}
+
+// bulkRef is one deferred bulk-pointer frame: the source that announced
+// it and the raw pointer body naming its parked chunks.
+type bulkRef struct {
+	src  int32
+	body []byte
 }
 
 func newMemoryChannel(w *worker) *memoryChannel {
@@ -108,6 +125,12 @@ func (mc *memoryChannel) push(w *worker, kind string, layer int, target int32, r
 	if err != nil {
 		return nil, err
 	}
+	return mc.pushRaw(w, kind, layer, target, body), nil
+}
+
+// pushRaw frames an already-encoded body and returns its RPUSH task,
+// recording the value in the run's sender log for failover recovery.
+func (mc *memoryChannel) pushRaw(w *worker, kind string, layer int, target int32, body []byte) func(p *sim.Proc) error {
 	val := encodeMemValue(kind, layer, w.id, body)
 	w.metrics.BytesSent += int64(len(body))
 	w.metrics.MessagesSent++
@@ -121,7 +144,7 @@ func (mc *memoryChannel) push(w *worker, kind string, layer int, target int32, r
 	w.run.sent[target] = append(w.run.sent[target], sentValue{
 		kind: kind, layer: layer, src: w.id, target: target, val: val, ttl: ttl,
 	})
-	return func(p *sim.Proc) error { return cl.RPush(p, &mc.client, key, val, ttl) }, nil
+	return func(p *sim.Proc) error { return cl.RPush(p, &mc.client, key, val, ttl) }
 }
 
 func (mc *memoryChannel) send(w *worker, layer int, outs []targetRows) error {
@@ -159,9 +182,15 @@ func (mc *memoryChannel) collect(w *worker, kind string, layer int, sources []in
 		remaining[s] = true
 	}
 
+	var bulk []bulkRef
 	process := func(src int32, body []byte) error {
 		if !remaining[src] {
 			return nil // duplicate or foreign source
+		}
+		if mc.resolveBulk != nil && isBulkPointer(body) {
+			bulk = append(bulk, bulkRef{src: src, body: body})
+			delete(remaining, src)
+			return nil
 		}
 		rs, err := w.decodePayload(body)
 		if err != nil {
@@ -210,6 +239,9 @@ func (mc *memoryChannel) collect(w *worker, kind string, layer int, sources []in
 		k := pendKey(vkind, vlayer)
 		w.pending[k] = append(w.pending[k], pendingMsg{src: src, chunks: 1, seq: 0, body: body})
 	}
+	if len(bulk) > 0 {
+		return mc.resolveBulk(w, bulk, deliver)
+	}
 	return nil
 }
 
@@ -246,31 +278,17 @@ func (mc *memoryChannel) recover(w *worker, kind string, layer int, pkey string,
 	return nil
 }
 
-// barrier synchronises all workers through worker 0's inbox: non-roots
-// push a "done" value, the root gathers P-1 of them and pushes "go"
-// values back to every inbox.
-func (mc *memoryChannel) barrier(w *worker) error {
-	p := w.d.Cfg.Workers()
-	if w.id != 0 {
-		task, err := mc.push(w, "done", 0, 0, wire.NewRowSet(w.run.batch))
-		if err != nil {
-			return err
-		}
-		if err := w.threads("push", []func(*sim.Proc) error{task}); err != nil {
-			return err
-		}
-		return mc.collect(w, "go", 0, []int32{0}, nil)
-	}
-	srcs := make([]int32, 0, p-1)
-	for m := 1; m < p; m++ {
-		srcs = append(srcs, int32(m))
-	}
-	if err := mc.collect(w, "done", 0, srcs, nil); err != nil {
-		return err
-	}
-	tasks := make([]func(*sim.Proc) error, 0, p-1)
-	for m := 1; m < p; m++ {
-		task, err := mc.push(w, "go", 0, int32(m), wire.NewRowSet(w.run.batch))
+// sendTagged ships one row set under an (op, round) tag — the collective
+// algorithms' point-to-point primitive, riding the same inbox framing as
+// the data path.
+func (mc *memoryChannel) sendTagged(w *worker, op string, round int, target int32, rs *wire.RowSet) error {
+	return mc.sendTaggedAll(w, op, round, []targetRows{{target: target, rs: rs}})
+}
+
+func (mc *memoryChannel) sendTaggedAll(w *worker, op string, round int, outs []targetRows) error {
+	tasks := make([]func(p *sim.Proc) error, 0, len(outs))
+	for _, out := range outs {
+		task, err := mc.push(w, op, round, out.target, out.rs)
 		if err != nil {
 			return err
 		}
@@ -279,18 +297,6 @@ func (mc *memoryChannel) barrier(w *worker) error {
 	return w.threads("push", tasks)
 }
 
-func (mc *memoryChannel) reduceSend(w *worker, rs *wire.RowSet) error {
-	task, err := mc.push(w, "result", 0, 0, rs)
-	if err != nil {
-		return err
-	}
-	return w.threads("push", []func(*sim.Proc) error{task})
-}
-
-func (mc *memoryChannel) reduceGather(w *worker, expect int, deliver func(src int32, rs *wire.RowSet)) error {
-	srcs := make([]int32, 0, expect)
-	for m := 1; m <= expect; m++ {
-		srcs = append(srcs, int32(m))
-	}
-	return mc.collect(w, "result", 0, srcs, deliver)
+func (mc *memoryChannel) gatherTagged(w *worker, op string, round int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error {
+	return mc.collect(w, op, round, sources, deliver)
 }

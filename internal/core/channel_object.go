@@ -161,49 +161,17 @@ func parseObjectKey(key string) (int32, string, bool) {
 	return int32(src), ext, true
 }
 
-// barrier synchronises via sentinel objects in worker 0's bucket: every
-// non-root writes a marker, the root scans until all are present, then
-// writes a "go" object that the others poll for.
-func (oc *objectChannel) barrier(w *worker) error {
-	p := w.d.Cfg.Workers()
-	if w.id != 0 {
-		if err := oc.put(w, "barrier", 0, []targetRows{{target: 0, rs: wire.NewRowSet(w.run.batch)}}); err != nil {
-			return err
-		}
-		// Poll for the root's go marker.
-		bucket := oc.bucketFor(w, 0)
-		goKey := w.run.id + "/ctrl/go"
-		for {
-			if w.ctx.Remaining() <= 0 {
-				return fmt.Errorf("core: worker %d out of runtime at barrier", w.id)
-			}
-			keys := bucket.List(w.ctx.P, goKey)
-			w.metrics.Polls++
-			if len(keys) > 0 {
-				return nil
-			}
-		}
-	}
-	srcs := make([]int32, 0, p-1)
-	for m := 1; m < p; m++ {
-		srcs = append(srcs, int32(m))
-	}
-	if err := oc.scanCollect(w, "barrier", 0, srcs, nil); err != nil {
-		return err
-	}
-	bucket := oc.bucketFor(w, 0)
-	w.metrics.Publishes++
-	return bucket.Put(w.ctx.P, w.run.id+"/ctrl/go", nil)
+// sendTagged ships one row set under an (op, round) tag — the collective
+// algorithms' point-to-point primitive, written as an ordinary
+// "{op}/{round}" phase object the target's scan loop picks up.
+func (oc *objectChannel) sendTagged(w *worker, op string, round int, target int32, rs *wire.RowSet) error {
+	return oc.put(w, op, round, []targetRows{{target: target, rs: rs}})
 }
 
-func (oc *objectChannel) reduceSend(w *worker, rs *wire.RowSet) error {
-	return oc.put(w, "reduce", 0, []targetRows{{target: 0, rs: rs}})
+func (oc *objectChannel) sendTaggedAll(w *worker, op string, round int, outs []targetRows) error {
+	return oc.put(w, op, round, outs)
 }
 
-func (oc *objectChannel) reduceGather(w *worker, expect int, deliver func(src int32, rs *wire.RowSet)) error {
-	srcs := make([]int32, 0, expect)
-	for m := 1; m <= expect; m++ {
-		srcs = append(srcs, int32(m))
-	}
-	return oc.scanCollect(w, "reduce", 0, srcs, deliver)
+func (oc *objectChannel) gatherTagged(w *worker, op string, round int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error {
+	return oc.scanCollect(w, op, round, sources, deliver)
 }

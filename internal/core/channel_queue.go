@@ -210,31 +210,17 @@ func (qc *queueChannel) collect(w *worker, kind string, layer int, sources []int
 
 func pendKey(kind string, layer int) string { return kind + ":" + strconv.Itoa(layer) }
 
-// barrier synchronises all workers: non-roots publish a "done" control
-// message routed to worker 0's queue; the root gathers P-1 of them and
-// broadcasts "go" messages back through the pub-sub fan-out.
-func (qc *queueChannel) barrier(w *worker) error {
-	p := w.d.Cfg.Workers()
-	if w.id != 0 {
-		msgs, err := qc.buildMessages(w, "done", 0, 0, wire.NewRowSet(w.run.batch))
-		if err != nil {
-			return err
-		}
-		if err := qc.publish(w, qc.packBatches(w, msgs)); err != nil {
-			return err
-		}
-		return qc.collect(w, "go", 0, []int32{0}, nil)
-	}
-	srcs := make([]int32, 0, p-1)
-	for m := 1; m < p; m++ {
-		srcs = append(srcs, int32(m))
-	}
-	if err := qc.collect(w, "done", 0, srcs, nil); err != nil {
-		return err
-	}
+// sendTagged ships one row set under an (op, round) tag — the collective
+// algorithms' point-to-point primitive, chunked and published like any
+// data-path message with kind=op, layer=round attributes.
+func (qc *queueChannel) sendTagged(w *worker, op string, round int, target int32, rs *wire.RowSet) error {
+	return qc.sendTaggedAll(w, op, round, []targetRows{{target: target, rs: rs}})
+}
+
+func (qc *queueChannel) sendTaggedAll(w *worker, op string, round int, outs []targetRows) error {
 	var msgs []sqs.Message
-	for m := 1; m < p; m++ {
-		ms, err := qc.buildMessages(w, "go", 0, int32(m), wire.NewRowSet(w.run.batch))
+	for _, out := range outs {
+		ms, err := qc.buildMessages(w, op, round, out.target, out.rs)
 		if err != nil {
 			return err
 		}
@@ -243,20 +229,8 @@ func (qc *queueChannel) barrier(w *worker) error {
 	return qc.publish(w, qc.packBatches(w, msgs))
 }
 
-func (qc *queueChannel) reduceSend(w *worker, rs *wire.RowSet) error {
-	msgs, err := qc.buildMessages(w, "result", 0, 0, rs)
-	if err != nil {
-		return err
-	}
-	return qc.publish(w, qc.packBatches(w, msgs))
-}
-
-func (qc *queueChannel) reduceGather(w *worker, expect int, deliver func(src int32, rs *wire.RowSet)) error {
-	srcs := make([]int32, 0, expect)
-	for m := 1; m <= expect; m++ {
-		srcs = append(srcs, int32(m))
-	}
-	return qc.collect(w, "result", 0, srcs, deliver)
+func (qc *queueChannel) gatherTagged(w *worker, op string, round int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error {
+	return qc.collect(w, op, round, sources, deliver)
 }
 
 // decodePayload decodes one received byte string, charging transfer-side

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"fsdinference/internal/collective"
+	"fsdinference/internal/model"
+)
+
+// TestCollectivesMatrix runs the full correctness matrix: every collective
+// topology (plus AutoAlgo) x every channel (including Hybrid) x
+// P in {2, 8, 33}, each against the reference inference.
+func TestCollectivesMatrix(t *testing.T) {
+	channels := []ChannelKind{Queue, Object, Memory, Hybrid}
+	algos := []collective.Algorithm{collective.Flat, collective.Tree, collective.Ring, collective.AutoAlgo}
+	for _, kind := range channels {
+		for _, alg := range algos {
+			for _, p := range []int{2, 8, 33} {
+				if testing.Short() && p == 33 {
+					continue
+				}
+				t.Run(fmt.Sprintf("%v/%v/p=%d", kind, alg, p), func(t *testing.T) {
+					d, m, input := testSetup(t, 128, 2, p, kind, func(c *Config) {
+						c.Collective = alg
+					})
+					res, err := d.Infer(input)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkCorrect(t, m, input, res)
+					if len(res.Workers) != p {
+						t.Fatalf("worker metrics = %d, want %d", len(res.Workers), p)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAllreduceOutputAllWorkers is the satellite fix's acceptance: under
+// AllreduceOutput every worker materialises the reduced result, on every
+// channel, and all copies agree with each other and across channels.
+func TestAllreduceOutputAllWorkers(t *testing.T) {
+	const p = 4
+	var baseline *Result
+	for _, kind := range []ChannelKind{Queue, Object, Memory, Hybrid} {
+		t.Run(kind.String(), func(t *testing.T) {
+			d, m, input := testSetup(t, 128, 3, p, kind, func(c *Config) {
+				c.AllreduceOutput = true
+			})
+			res, err := d.Infer(input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkCorrect(t, m, input, res)
+			if len(res.AllOutputs) != p {
+				t.Fatalf("AllOutputs has %d entries, want %d", len(res.AllOutputs), p)
+			}
+			for id, out := range res.AllOutputs {
+				if out == nil {
+					t.Fatalf("worker %d did not materialise the reduced output", id)
+				}
+				if !model.OutputsClose(out, res.Output, 0) {
+					t.Fatalf("worker %d's copy diverges from the root result", id)
+				}
+			}
+			if baseline == nil {
+				baseline = res
+				return
+			}
+			if !model.OutputsClose(res.Output, baseline.Output, 1e-3) {
+				t.Fatalf("%v allreduce output diverges from %s", kind, baseline.RunID)
+			}
+		})
+	}
+}
+
+// TestAllreduceOutputOffByDefault protects the legacy behaviour: without
+// the opt-in no per-worker copies are kept.
+func TestAllreduceOutputOffByDefault(t *testing.T) {
+	d, _, input := testSetup(t, 128, 2, 3, Memory, nil)
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllOutputs != nil {
+		t.Fatalf("AllOutputs populated without AllreduceOutput: %d entries", len(res.AllOutputs))
+	}
+}
+
+// TestHybridChannelBulkPath forces the Hybrid channel's bulk route with a
+// tiny threshold and checks both correctness and the routing ledgers.
+func TestHybridChannelBulkPath(t *testing.T) {
+	d, m, input := testSetup(t, 128, 3, 4, Hybrid, func(c *Config) {
+		c.HybridThresholdBytes = 256
+		c.HybridChunkBytes = 1 << 12
+	})
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCorrect(t, m, input, res)
+	if res.Usage.HybridBulkValues == 0 || res.Usage.HybridChunks == 0 {
+		t.Fatalf("no bulk traffic routed: %+v", res.Usage)
+	}
+	if res.Usage.HybridSmallValues == 0 {
+		t.Fatalf("no control traffic stayed on the memory path: %+v", res.Usage)
+	}
+	if res.Usage.KVOps == 0 {
+		t.Fatalf("hybrid run metered no store ops: %+v", res.Usage)
+	}
+	if res.Usage.S3GetCalls <= 1 {
+		t.Fatalf("hybrid run fetched no chunk objects: %+v", res.Usage)
+	}
+	if res.Cost.KV <= 0 {
+		t.Fatalf("hybrid run billed no node-hours: %+v", res.Cost)
+	}
+}
+
+// TestCollectiveCountersMetered checks the per-collective usage counters
+// surface with the op/algorithm key, both in the environment meter and the
+// per-run reconstruction.
+func TestCollectiveCountersMetered(t *testing.T) {
+	d, _, input := testSetup(t, 128, 2, 4, Memory, func(c *Config) {
+		c.Collective = collective.Tree
+	})
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Usage.Collectives["barrier/tree"] != 1 {
+		t.Fatalf("barrier/tree = %d, want 1 (counters: %v)",
+			res.Usage.Collectives["barrier/tree"], res.Usage.Collectives)
+	}
+	if res.Usage.Collectives["gather/tree"] != 1 {
+		t.Fatalf("gather/tree = %d, want 1 (counters: %v)",
+			res.Usage.Collectives["gather/tree"], res.Usage.Collectives)
+	}
+}
+
+// TestCollectiveDeterminism re-runs a tree-collective Hybrid deployment
+// and demands bit-identical latency, cost and output (run under -race by
+// the matrix CI target).
+func TestCollectiveDeterminism(t *testing.T) {
+	run := func() *Result {
+		d, _, input := testSetup(t, 128, 3, 8, Hybrid, func(c *Config) {
+			c.Collective = collective.Tree
+			c.HybridThresholdBytes = 256
+		})
+		res, err := d.Infer(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Latency != b.Latency {
+		t.Fatalf("latencies differ: %v vs %v", a.Latency, b.Latency)
+	}
+	if a.Cost.Total() != b.Cost.Total() {
+		t.Fatalf("costs differ: %v vs %v", a.Cost.Total(), b.Cost.Total())
+	}
+	for i := range a.Output.Data {
+		if a.Output.Data[i] != b.Output.Data[i] {
+			t.Fatal("outputs differ between identical runs")
+		}
+	}
+}
+
+// TestBarrierReduceTimesRecorded checks the collective-latency probes.
+func TestBarrierReduceTimesRecorded(t *testing.T) {
+	d, _, input := testSetup(t, 128, 2, 4, Memory, nil)
+	res, err := d.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Workers {
+		if w.BarrierTime <= 0 {
+			t.Fatalf("worker %d barrier time %v", w.ID, w.BarrierTime)
+		}
+		if w.ReduceTime <= 0 {
+			t.Fatalf("worker %d reduce time %v", w.ID, w.ReduceTime)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"fsdinference/internal/cloud/kvstore"
 	"fsdinference/internal/cloud/usage"
+	"fsdinference/internal/collective"
 	"fsdinference/internal/model"
 	"fsdinference/internal/partition"
 	"fsdinference/internal/sparse"
@@ -44,6 +45,12 @@ const (
 	// by provisioned node-hours instead of per request — the
 	// ElastiCache/Redis design the paper weighs against its channels.
 	Memory
+	// Hybrid routes each message by size: small control traffic (barriers,
+	// reduce partials, sparse activations under HybridThresholdBytes) over
+	// the in-memory store, bulk tensors chunked over object storage with
+	// the chunks fetched in parallel — the FMI-style per-message channel
+	// selection that lifts the one-channel-per-deployment restriction.
+	Hybrid
 )
 
 // String returns the paper's name for the variant.
@@ -57,6 +64,8 @@ func (c ChannelKind) String() string {
 		return "FSD-Inf-Object"
 	case Memory:
 		return "FSD-Inf-Memory"
+	case Hybrid:
+		return "FSD-Inf-Hybrid"
 	default:
 		return fmt.Sprintf("ChannelKind(%d)", int(c))
 	}
@@ -142,6 +151,15 @@ type Config struct {
 	// Threads is the per-worker communication thread pool size
 	// (default 4), the ThreadPoolExecutor of §VI-A1.
 	Threads int
+	// Collective selects the collective topology for barrier/reduce
+	// (default Flat, the paper's root-funnelled pattern; AutoAlgo picks
+	// the analytically cheapest per call from the channel's traits).
+	Collective collective.Algorithm
+	// AllreduceOutput delivers the reduced inference output to every
+	// worker (Result.AllOutputs) instead of materialising it only at
+	// worker 0. Off by default: the extra broadcast is pure cost when
+	// only the client reads the result.
+	AllreduceOutput bool
 	// Compress enables zlib payload compression (default true; the
 	// compression ablation switches it off).
 	Compress bool
@@ -155,6 +173,18 @@ type Config struct {
 	// PollWait is the queue long-poll wait; 0 selects short polling
 	// (the polling ablation).
 	PollWait time.Duration
+
+	// HybridThresholdBytes is the Hybrid channel's routing split: encoded
+	// payloads at or under it travel through the in-memory store, larger
+	// ones are chunked into object storage (default 128 KiB).
+	HybridThresholdBytes int
+	// HybridChunkBytes sizes the Hybrid channel's bulk chunks (default
+	// 1 MiB): smaller chunks mean more parallel streams per transfer.
+	HybridChunkBytes int
+	// HybridFanout is the Hybrid channel's per-worker parallel chunk
+	// transfer width (default 32), separate from Threads because bulk
+	// tensor staging wants far wider concurrency than control pushes.
+	HybridFanout int
 
 	// KVNodeType sizes the provisioned in-memory store nodes (Memory
 	// channel only; default cache.m6g.large).
@@ -200,6 +230,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Threads <= 0 {
 		c.Threads = 4
+	}
+	if c.HybridThresholdBytes <= 0 {
+		c.HybridThresholdBytes = 128 << 10
+	}
+	if c.HybridChunkBytes <= 0 {
+		c.HybridChunkBytes = 1 << 20
+	}
+	if c.HybridFanout <= 0 {
+		c.HybridFanout = 32
 	}
 	if c.Topics <= 0 {
 		c.Topics = 10
@@ -251,6 +290,10 @@ type WorkerMetrics struct {
 	FinishedAt time.Duration
 	Warm       bool
 	LoadTime   time.Duration // model/maps/input load from the store
+	// BarrierTime and ReduceTime isolate the closing collectives'
+	// latency (the tree/ring-versus-flat comparison metric).
+	BarrierTime time.Duration
+	ReduceTime  time.Duration
 
 	MACs         float64
 	RowsSent     int64
@@ -274,6 +317,12 @@ type WorkerMetrics struct {
 	// AttrBytes is the worker-side ledger of message-attribute bytes,
 	// which count toward SNS->SQS transfer volume (Z).
 	AttrBytes int64
+	// HybridPuts and HybridGets count the Hybrid channel's bulk chunk
+	// objects written and read — S3-billed calls, kept separate from
+	// Publishes/Fetches so the per-run cost reconstruction can split the
+	// channel's memory-store and object-store sides.
+	HybridPuts int64
+	HybridGets int64
 	// StoreGets counts model-store reads (weights, maps, inputs).
 	StoreGets int64
 	// StorePuts counts model-store writes (the root's result object).
@@ -288,6 +337,10 @@ func (w *WorkerMetrics) Runtime() time.Duration { return w.FinishedAt - w.Starte
 type Result struct {
 	RunID  string
 	Output *sparse.Dense
+	// AllOutputs holds every worker's copy of the reduced output when the
+	// deployment runs with AllreduceOutput (index = worker id, nil
+	// otherwise).
+	AllOutputs []*sparse.Dense
 	// Latency is the end-to-end query latency: client invoke to result
 	// availability, in virtual time.
 	Latency time.Duration

@@ -69,6 +69,13 @@ type runState struct {
 	sent     map[int32][]sentValue
 	baseLost int64
 
+	// outputs collects every worker's reduced result under
+	// AllreduceOutput (index = worker id; nil otherwise).
+	outputs []*sparse.Dense
+	// collectives counts this run's collective calls by "op/alg" key, the
+	// per-run share of the environment meter's Collectives.
+	collectives map[string]int64
+
 	rootFut      *faas.Future
 	metrics      []*WorkerMetrics
 	started      []time.Duration
@@ -121,13 +128,13 @@ func Deploy(e *env.Env, cfg Config) (*Deployment, error) {
 			d.topics[t] = e.SNS.CreateTopic(fmt.Sprintf("%s-topic-%d", prefix, t))
 		}
 	}
-	if cfg.Channel == Object {
+	if cfg.Channel == Object || cfg.Channel == Hybrid {
 		d.buckets = make([]*s3.Bucket, cfg.Buckets)
 		for b := 0; b < cfg.Buckets; b++ {
 			d.buckets[b] = e.S3.CreateBucket(fmt.Sprintf("%s-bucket-%d", prefix, b))
 		}
 	}
-	if cfg.Channel == Memory {
+	if cfg.Channel == Memory || cfg.Channel == Hybrid {
 		// Unlike topics and buckets, provisioned cache nodes are NOT free
 		// to keep: they bill node-hours from this moment, idle or busy —
 		// the provisioned-versus-per-request tradeoff of §IV. The nodes
@@ -254,6 +261,9 @@ func (d *Deployment) Start(input *sparse.Dense, done func(*Result, error)) (stri
 	}
 	if d.kvcluster != nil {
 		run.baseLost = d.kvcluster.LostValues()
+	}
+	if d.Cfg.AllreduceOutput {
+		run.outputs = make([]*sparse.Dense, d.Cfg.Workers())
 	}
 	d.runs[run.id] = run
 	d.stageInput(run)
@@ -383,6 +393,7 @@ func (d *Deployment) clientRun(p *sim.Proc, run *runState) (*Result, error) {
 	res := &Result{
 		RunID:              run.id,
 		Output:             run.output,
+		AllOutputs:         run.outputs,
 		Latency:            end - start,
 		CoordinatorRuntime: run.coordRuntime,
 		Batch:              run.batch,

@@ -55,10 +55,23 @@ func (d *Deployment) runUsage(run *runState) usage.Meter {
 			u.KVBytesOut += w.BytesRecv
 			u.S3PutCalls += w.StorePuts
 			u.S3GetCalls += w.StoreGets
+		case Hybrid:
+			// Control plane through the store, bulk chunks through S3.
+			u.KVOps += w.Publishes + w.Polls
+			u.KVBytesIn += w.BytesSent
+			u.KVBytesOut += w.BytesRecv
+			u.S3PutCalls += w.HybridPuts + w.StorePuts
+			u.S3GetCalls += w.HybridGets + w.StoreGets
 		default:
 			u.S3PutCalls += w.StorePuts
 			u.S3GetCalls += w.StoreGets
 		}
+	}
+
+	// Collective calls are tracked per run directly (rank 0 counts each
+	// once).
+	for k, v := range run.collectives {
+		u.Collectives[k] += v
 	}
 
 	// Provisioned capacity: the memory channel bills node-hours, not
@@ -70,7 +83,7 @@ func (d *Deployment) runUsage(run *runState) usage.Meter {
 	// between runs belong to the deployment, not to any one request;
 	// exact billing is always the metered window (Infer, Replay's
 	// TotalCost).
-	if d.Cfg.Channel == Memory && d.kvcluster != nil {
+	if (d.Cfg.Channel == Memory || d.Cfg.Channel == Hybrid) && d.kvcluster != nil {
 		dur := run.end - run.start
 		if min := d.Env.KV.Config().MinBilledDuration; dur < min {
 			dur = min

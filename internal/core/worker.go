@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"fsdinference/internal/cloud/faas"
+	"fsdinference/internal/cloud/kvstore"
+	"fsdinference/internal/collective"
 	"fsdinference/internal/model"
 	"fsdinference/internal/sim"
 	"fsdinference/internal/sparse"
@@ -63,12 +65,44 @@ type channel interface {
 	// receive collects layer data until every source in sources has
 	// delivered completely, invoking deliver per arriving row set.
 	receive(w *worker, layer int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error
-	// barrier synchronises all workers (root coordinates, §III-C3).
-	barrier(w *worker) error
-	// reduce gathers final activations at worker 0: non-roots send
-	// their rows; the root receives expect row sets via deliver.
-	reduceSend(w *worker, rs *wire.RowSet) error
-	reduceGather(w *worker, expect int, deliver func(src int32, rs *wire.RowSet)) error
+	// sendTagged and gatherTagged are the tagged point-to-point transport
+	// the collective algorithms run on: an (op, round) pair names one
+	// logical exchange the way ("data", layer) names the FSI data path.
+	// sendTaggedAll ships a batch under one tag with the channel's native
+	// fan-out concurrency (thread pools, publish batches).
+	sendTagged(w *worker, op string, round int, target int32, rs *wire.RowSet) error
+	sendTaggedAll(w *worker, op string, round int, outs []targetRows) error
+	gatherTagged(w *worker, op string, round int, sources []int32, deliver func(src int32, rs *wire.RowSet)) error
+}
+
+// workerLink lends the worker's channel to the collective algorithms as a
+// collective.Link: rank/size from the deployment, tagged exchanges mapped
+// onto the channel's (kind, layer) framing.
+type workerLink struct{ w *worker }
+
+func (l workerLink) Rank() int { return int(l.w.id) }
+func (l workerLink) Size() int { return l.w.d.Cfg.Workers() }
+
+func (l workerLink) Send(op string, round int, target int, rs *wire.RowSet) error {
+	return l.w.ch.sendTagged(l.w, op, round, int32(target), rs)
+}
+
+func (l workerLink) SendAll(op string, round int, targets []int, sets []*wire.RowSet) error {
+	outs := make([]targetRows, len(targets))
+	for i, t := range targets {
+		outs[i] = targetRows{target: int32(t), rs: sets[i]}
+	}
+	return l.w.ch.sendTaggedAll(l.w, op, round, outs)
+}
+
+func (l workerLink) Gather(op string, round int, sources []int, deliver func(src int, rs *wire.RowSet)) error {
+	srcs := make([]int32, len(sources))
+	for i, s := range sources {
+		srcs[i] = int32(s)
+	}
+	return l.w.ch.gatherTagged(l.w, op, round, srcs, func(src int32, rs *wire.RowSet) {
+		deliver(int(src), rs)
+	})
 }
 
 // workerHandler is the FaaS body of a distributed FSI worker
@@ -112,6 +146,8 @@ func (d *Deployment) workerHandler(ctx *faas.Ctx, payload []byte) ([]byte, error
 		w.ch = &objectChannel{}
 	case Memory:
 		w.ch = newMemoryChannel(w)
+	case Hybrid:
+		w.ch = newHybridChannel(w)
 	default:
 		return nil, fmt.Errorf("core: worker launched with %v channel", d.Cfg.Channel)
 	}
@@ -312,12 +348,109 @@ func (w *worker) runFSI() error {
 		prevBytes = zBytes
 	}
 
-	// Barrier, then reduce the distributed output at worker 0
-	// (lines 19-22 / 25-28).
-	if err := w.ch.barrier(w); err != nil {
+	// Barrier, then reduce the distributed output (lines 19-22 / 25-28) —
+	// both through the collectives subsystem, under the configured (or
+	// auto-picked) topology.
+	t0 := w.ctx.P.Now()
+	if err := w.barrier(); err != nil {
 		return fmt.Errorf("core: worker %d barrier: %w", w.id, err)
 	}
-	return w.reduce()
+	w.metrics.BarrierTime = w.ctx.P.Now() - t0
+	t0 = w.ctx.P.Now()
+	if err := w.reduce(); err != nil {
+		return err
+	}
+	w.metrics.ReduceTime = w.ctx.P.Now() - t0
+	return nil
+}
+
+// channelTraits summarises the deployment's channel for the analytic
+// collective cost model: per-message latency, effective bandwidth and
+// sender-side fan-out, derived from the same service calibration the
+// simulator charges.
+func (w *worker) channelTraits(msgBytes int64) collective.Traits {
+	d := w.d
+	memTraits := func() collective.Traits {
+		nt := kvstore.Catalog[d.Cfg.KVNodeType]
+		return collective.Traits{
+			// A value crosses the store twice: push and blocking pop.
+			PerMsg:      2 * d.Env.KV.Config().OpLatency,
+			BytesPerSec: nt.NetBytesPerSec / 2,
+			Fan:         d.Cfg.Threads,
+		}
+	}
+	objTraits := func(fan int) collective.Traits {
+		s3cfg := d.Env.S3.Config()
+		return collective.Traits{
+			PerMsg:      s3cfg.PutLatency + s3cfg.ListLatency + s3cfg.GetLatency,
+			BytesPerSec: 2 / (1/s3cfg.PutBytesPerSec + 1/s3cfg.GetBytesPerSec),
+			Fan:         fan,
+		}
+	}
+	switch d.Cfg.Channel {
+	case Memory:
+		return memTraits()
+	case Hybrid:
+		if msgBytes > int64(d.Cfg.HybridThresholdBytes) {
+			return objTraits(d.Cfg.HybridFanout)
+		}
+		return memTraits()
+	case Object:
+		return objTraits(d.Cfg.Threads)
+	default: // Queue
+		snsCfg, sqsCfg := d.Env.SNS.Config(), d.Env.SQS.Config()
+		return collective.Traits{
+			PerMsg:      snsCfg.PublishLatency + snsCfg.DeliveryLatency + sqsCfg.ReceiveLatency,
+			BytesPerSec: sqsCfg.TransferBytesPerSec,
+			Fan:         d.Cfg.Threads,
+		}
+	}
+}
+
+// algoFor resolves the deployment's collective topology for one call.
+// AutoAlgo consults the analytic model with a rank-independent payload
+// estimate — every rank must resolve to the same topology or the exchange
+// deadlocks, so the estimate uses the plan's even row split, not this
+// rank's actual sparsity.
+func (w *worker) algoFor(op collective.Op, msgBytes int64) collective.Algorithm {
+	alg := w.d.Cfg.Collective
+	if alg == collective.AutoAlgo {
+		alg = collective.Pick(op, w.d.Cfg.Workers(), msgBytes, w.channelTraits(msgBytes))
+	}
+	return alg
+}
+
+// reduceEstimate is the rank-independent per-contribution payload estimate
+// for the final reduce: the plan's even row share, dense.
+func (w *worker) reduceEstimate() int64 {
+	p := w.d.Cfg.Workers()
+	if p <= 0 {
+		p = 1
+	}
+	rows := int64(w.d.Cfg.Model.Spec.Neurons) / int64(p)
+	return rows * int64(w.run.batch+1) * 4
+}
+
+// noteCollective records one collective call in the environment meter
+// (rank 0 only, so a P-worker collective counts once).
+func (w *worker) noteCollective(op collective.Op, alg collective.Algorithm) {
+	if w.id == 0 {
+		w.d.Env.Meter.AddCollective(op.String(), alg.String())
+		if w.run.collectives == nil {
+			w.run.collectives = make(map[string]int64)
+		}
+		w.run.collectives[op.String()+"/"+alg.String()]++
+	}
+}
+
+// barrier synchronises all workers through the collectives subsystem.
+func (w *worker) barrier() error {
+	if w.d.Cfg.Workers() <= 1 {
+		return nil
+	}
+	alg := w.algoFor(collective.OpBarrier, 0)
+	w.noteCollective(collective.OpBarrier, alg)
+	return collective.For(alg).Barrier(workerLink{w})
 }
 
 // extractSendRows materialises the layer's send map entries with data,
@@ -353,40 +486,64 @@ func allZero(row []float32) bool {
 	return true
 }
 
-// reduce gathers every worker's final activation rows at worker 0, which
-// assembles and stores the overall inference result x^L (§III-C3).
+// reduce combines every worker's final activation rows into the overall
+// inference result x^L (§III-C3): a gather at worker 0 by default, or —
+// under AllreduceOutput — an allreduce that materialises the result at all
+// P workers (Result.AllOutputs), fixing the root-only reduction.
 func (w *worker) reduce() error {
 	batch := w.run.batch
-	if w.id != 0 {
-		rs := wire.NewRowSet(batch)
-		for _, r := range w.localRows {
-			if row := w.x[r]; row != nil {
-				rs.Add(r, row)
-			}
-		}
-		w.ctx.Serialize(rs.RawBytes())
-		return w.ch.reduceSend(w, rs)
-	}
-
-	n := w.d.Cfg.Model.Spec.Neurons
-	out := sparse.NewDense(n, batch)
+	mine := wire.NewRowSet(batch)
 	for _, r := range w.localRows {
 		if row := w.x[r]; row != nil {
-			copy(out.Row(int(r)), row)
+			mine.Add(r, row)
 		}
 	}
-	expect := w.d.Cfg.Workers() - 1
-	if expect > 0 {
-		err := w.ch.reduceGather(w, expect, func(src int32, rs *wire.RowSet) {
-			for i := 0; i < rs.Len(); i++ {
-				copy(out.Row(int(rs.IDs[i])), rs.Row(i))
-			}
-		})
+	w.ctx.Serialize(mine.RawBytes())
+	est := w.reduceEstimate()
+
+	if w.d.Cfg.AllreduceOutput {
+		alg := w.algoFor(collective.OpAllreduce, est)
+		w.noteCollective(collective.OpAllreduce, alg)
+		full, err := collective.For(alg).Allreduce(workerLink{w}, mine, collective.Union)
 		if err != nil {
-			return err
+			return fmt.Errorf("core: worker %d allreduce: %w", w.id, err)
+		}
+		out := w.fillDense(full)
+		if w.run.outputs != nil && int(w.id) < len(w.run.outputs) {
+			w.run.outputs[w.id] = out
+		}
+		if w.id != 0 {
+			return nil
+		}
+		return w.storeResult(out)
+	}
+
+	alg := w.algoFor(collective.OpGather, est)
+	w.noteCollective(collective.OpGather, alg)
+	full, err := collective.For(alg).Gather(workerLink{w}, 0, mine)
+	if err != nil {
+		return fmt.Errorf("core: worker %d reduce: %w", w.id, err)
+	}
+	if w.id != 0 {
+		return nil
+	}
+	return w.storeResult(w.fillDense(full))
+}
+
+// fillDense scatters a combined row set into a dense N x batch output.
+func (w *worker) fillDense(rs *wire.RowSet) *sparse.Dense {
+	out := sparse.NewDense(w.d.Cfg.Model.Spec.Neurons, w.run.batch)
+	if rs != nil {
+		for i := 0; i < rs.Len(); i++ {
+			copy(out.Row(int(rs.IDs[i])), rs.Row(i))
 		}
 	}
-	// Store the result object (billed) and report it to the client.
+	return out
+}
+
+// storeResult writes the result object (billed) and reports it to the
+// client.
+func (w *worker) storeResult(out *sparse.Dense) error {
 	enc, err := wire.Encode(denseToRowSet(out), w.d.Cfg.Compress)
 	if err != nil {
 		return fmt.Errorf("core: encoding result: %w", err)
@@ -415,10 +572,20 @@ func denseToRowSet(d *sparse.Dense) *wire.RowSet {
 // service calls concurrently; the call returns when all tasks finish.
 // Returns the first task error, if any.
 func (w *worker) threads(name string, tasks []func(p *sim.Proc) error) error {
+	return w.threadsN(name, w.d.Cfg.Threads, tasks)
+}
+
+// threadsN is threads with an explicit pool width, for paths whose
+// concurrency is configured separately (the Hybrid channel's bulk chunk
+// fanout).
+func (w *worker) threadsN(name string, width int, tasks []func(p *sim.Proc) error) error {
 	if len(tasks) == 0 {
 		return nil
 	}
-	nt := w.d.Cfg.Threads
+	nt := width
+	if nt < 1 {
+		nt = 1
+	}
 	if nt > len(tasks) {
 		nt = len(tasks)
 	}

@@ -36,6 +36,13 @@ type Workload struct {
 	// Layers is the layer count.
 	Layers int
 
+	// ConcurrentRuns is the peak number of engine runs in flight at once
+	// (the serving layer's observed MaxConcurrentRuns). 0 means a single
+	// run. Overlapping runs multiply the store's resident working set:
+	// every in-flight run parks a layer's worth of pair values in the
+	// node until the receivers drain them.
+	ConcurrentRuns int
+
 	// QueriesPerDay is the expected sustained request volume. 0 means
 	// unknown: the recommendation then stays within the pay-per-request
 	// channels, since a provisioned memory node bills while idle — the
@@ -111,6 +118,43 @@ func QueueSaturated(bytesPerPair int64) bool {
 // however favourable the billing.
 func MemoryValueFeasible(bytesPerPair int64) bool {
 	return bytesPerPair <= int64(kvstore.DefaultConfig().MaxValueBytes)
+}
+
+// storeHeadroom is the provisioning factor between a workload's resident
+// working set and the node memory it needs: half of each node is held
+// back for replication buffers and copy-on-write snapshot forks, per the
+// managed-cache guidance to reserve memory on write-heavy workloads —
+// and an engine-run inbox is nothing but writes.
+const storeHeadroom = 2.0
+
+// MemoryWorkingSetBytes estimates the peak bytes resident in the
+// provisioned store: one layer's pair values per in-flight run, times
+// the peak run concurrency.
+func MemoryWorkingSetBytes(w Workload) int64 {
+	runs := int64(w.ConcurrentRuns)
+	if runs < 1 {
+		runs = 1
+	}
+	return runs * w.PairsPerLayer * w.BytesPerPairPerLayer
+}
+
+// MemoryNodeCapacityExceeded reports whether the workload's peak working
+// set, with the write-heavy headroom applied, overflows the usable
+// memory of a cluster of shards of the node type. Capacity scales
+// linearly with the shard count, like the request-rate ceiling: this is
+// the second analytic rule that forces bigger nodes (or more shards)
+// under bulk-tensor workloads — and the rule the hybrid channel escapes
+// by parking bulk values in object storage.
+func MemoryNodeCapacityExceeded(w Workload, nodeType string, shards int) bool {
+	if shards < 1 {
+		shards = 1
+	}
+	nt, ok := kvstore.Catalog[nodeType]
+	if !ok {
+		nt = kvstore.Catalog[kvstore.DefaultNodeType]
+	}
+	usable := nt.MemoryGB * float64(int64(1)<<30) * float64(shards)
+	return float64(MemoryWorkingSetBytes(w))*storeHeadroom > usable
 }
 
 // MemoryOpsPerQuery estimates the store operations one query issues on

@@ -457,3 +457,76 @@ func TestClusterFailoverLadder(t *testing.T) {
 		t.Fatalf("no planner note picking the sharded candidate:\n%v", tab.Notes)
 	}
 }
+
+func TestCollectivesShape(t *testing.T) {
+	tab := table(t, "collectives")
+	// Topology: tree and ring allreduce strictly beat flat from P=16 on,
+	// and the flat gap widens with P.
+	var prevFlat float64
+	for _, p := range []string{"P=16", "P=32"} {
+		flat := cellFloat(t, tab, p, "flat ms")
+		tree := cellFloat(t, tab, p, "tree ms")
+		ring := cellFloat(t, tab, p, "ring ms")
+		if tree >= flat {
+			t.Fatalf("%s: tree %.2fms does not beat flat %.2fms", p, tree, flat)
+		}
+		if ring >= flat {
+			t.Fatalf("%s: ring %.2fms does not beat flat %.2fms", p, ring, flat)
+		}
+		if flat <= prevFlat {
+			t.Fatalf("%s: flat %.2fms did not grow from %.2fms", p, flat, prevFlat)
+		}
+		prevFlat = flat
+	}
+	// Mixed workload: the planner picks a hybrid candidate on the small
+	// node, and the hybrid score beats every monolithic channel's best.
+	pick, ok := tab.Cell("mixed pick", "detail")
+	if !ok || !strings.Contains(pick, "Hybrid") || !strings.Contains(pick, "cache.t3.small") {
+		t.Fatalf("mixed pick is not hybrid on the small node: %q", pick)
+	}
+	bestScore := func(prefix string) float64 {
+		best := -1.0
+		for _, row := range tab.Rows {
+			if !strings.HasPrefix(row[0], prefix) {
+				continue
+			}
+			detail := row[len(row)-1]
+			i := strings.Index(detail, "score ")
+			if i < 0 {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(detail[i+len("score "):]), 64)
+			if err != nil {
+				t.Fatalf("%s: bad score in %q", row[0], detail)
+			}
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+		if best < 0 {
+			t.Fatalf("no scored trial rows with prefix %q", prefix)
+		}
+		return best
+	}
+	hybrid := bestScore("mixed FSD-Inf-Hybrid")
+	for _, mono := range []string{"mixed FSD-Inf-Queue", "mixed FSD-Inf-Object", "mixed FSD-Inf-Memory"} {
+		if s := bestScore(mono); hybrid >= s {
+			t.Fatalf("hybrid score %.3f does not beat %s best %.3f", hybrid, mono, s)
+		}
+	}
+	// The burst working set prunes the memory channel off the small node.
+	pruned := false
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "mixed FSD-Inf-Memory") && strings.Contains(row[len(row)-1], "overflows") {
+			pruned = true
+		}
+	}
+	if !pruned {
+		t.Fatal("memory channel on the small node was not capacity-pruned")
+	}
+	// The analytic pre-filter prunes the flat collective; tree wins.
+	ppick, ok := tab.Cell("prune pick", "detail")
+	if !ok || !strings.Contains(ppick, "[tree]") {
+		t.Fatalf("prune pick did not select the tree collective: %q", ppick)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/collective"
 	"fsdinference/internal/core"
 	"fsdinference/internal/model"
 	"fsdinference/internal/partition"
@@ -43,6 +44,11 @@ type WorkloadProfile struct {
 	// BatchSamples is the representative engine-run batch width; it
 	// sizes the probe input used for simulated trials (default 32).
 	BatchSamples int
+	// Concurrency is the peak number of engine runs in flight at once
+	// (the serving layer's observed MaxConcurrentRuns; 0 means one).
+	// Overlapping runs multiply the provisioned store's resident working
+	// set, so it drives the analytic node-capacity feasibility rule.
+	Concurrency int
 	// ArrivalRate is the request arrival rate in requests/second (an
 	// EWMA when emitted by the serving layer). Informational: recorded
 	// on the decision, not scored directly.
@@ -62,22 +68,34 @@ func (p WorkloadProfile) withDefaults() WorkloadProfile {
 type Candidate struct {
 	Channel core.ChannelKind
 	Workers int // 1 for serial
-	// KVNodeType is the provisioned store node type (Memory channel
-	// only; empty otherwise).
+	// KVNodeType is the provisioned store node type (Memory and Hybrid
+	// channels only; empty otherwise).
 	KVNodeType string
 	// KVNodes is the provisioned cluster's primary shard count (Memory
-	// channel only; 0 means the single-node default). Sharding buys
-	// aggregate request-rate and bandwidth headroom at extra node-hours.
+	// and Hybrid channels only; 0 means the single-node default).
+	// Sharding buys aggregate request-rate and bandwidth headroom at
+	// extra node-hours.
 	KVNodes int
-	// KVReplicas is the replica count per shard (Memory channel only;
-	// 0 means none). Replicas buy failover behaviour at extra
-	// node-hours: the availability-versus-cost axis.
+	// KVReplicas is the replica count per shard (Memory and Hybrid
+	// channels only; 0 means none). Replicas buy failover behaviour at
+	// extra node-hours: the availability-versus-cost axis.
 	KVReplicas int
+	// Algo is the collective topology the deployment runs its barrier
+	// and reduce phases with; the zero value is the flat legacy
+	// topology, AutoAlgo defers to the per-call analytic picker.
+	Algo collective.Algorithm
+}
+
+// usesKVStore reports whether the candidate provisions the in-memory
+// store (and therefore bills node-hours): the memory channel and the
+// hybrid channel's control plane.
+func (c Candidate) usesKVStore() bool {
+	return c.Channel == core.Memory || c.Channel == core.Hybrid
 }
 
 // clusterNodes returns the candidate's total provisioned node count.
 func (c Candidate) clusterNodes() int {
-	if c.Channel != core.Memory {
+	if !c.usesKVStore() {
 		return 0
 	}
 	shards := c.KVNodes
@@ -93,7 +111,7 @@ func (c Candidate) String() string {
 		return c.Channel.String()
 	}
 	s := fmt.Sprintf("%v x%d", c.Channel, c.Workers)
-	if c.Channel == core.Memory {
+	if c.usesKVStore() {
 		var extras []string
 		if c.KVNodeType != "" && c.KVNodeType != core.DefaultKVNodeType {
 			extras = append(extras, c.KVNodeType)
@@ -107,6 +125,9 @@ func (c Candidate) String() string {
 		if len(extras) > 0 {
 			s += " (" + strings.Join(extras, ", ") + ")"
 		}
+	}
+	if c.Algo != collective.Flat {
+		s += " [" + c.Algo.String() + "]"
 	}
 	return s
 }
@@ -166,6 +187,11 @@ type Grid struct {
 	// candidates (default: none). Replicas cut failover loss at extra
 	// node-hours.
 	KVReplicas []int
+	// Collectives lists the collective topologies to explore for
+	// distributed candidates (default: just the flat legacy topology, so
+	// the grid size is unchanged). Adding collective.Tree / Ring /
+	// AutoAlgo fans every distributed candidate over them.
+	Collectives []collective.Algorithm
 }
 
 func (g Grid) withDefaults() Grid {
@@ -183,6 +209,9 @@ func (g Grid) withDefaults() Grid {
 	}
 	if len(g.KVReplicas) == 0 {
 		g.KVReplicas = []int{0}
+	}
+	if len(g.Collectives) == 0 {
+		g.Collectives = []collective.Algorithm{collective.Flat}
 	}
 	return g
 }
@@ -450,6 +479,15 @@ func (p *Planner) candidates() []Candidate {
 		return false
 	}
 	var cands []Candidate
+	// add fans a distributed base candidate over the grid's collective
+	// topologies; with the default single-entry list (Flat) the grid size
+	// is exactly the legacy enumeration.
+	add := func(c Candidate) {
+		for _, alg := range g.Collectives {
+			c.Algo = alg
+			cands = append(cands, c)
+		}
+	}
 	if hasChannel(core.Serial) && p.serialFits() {
 		cands = append(cands, Candidate{Channel: core.Serial, Workers: 1})
 	}
@@ -458,12 +496,15 @@ func (p *Planner) candidates() []Candidate {
 			continue
 		}
 		if hasChannel(core.Queue) {
-			cands = append(cands, Candidate{Channel: core.Queue, Workers: w})
+			add(Candidate{Channel: core.Queue, Workers: w})
 		}
 		if hasChannel(core.Object) {
-			cands = append(cands, Candidate{Channel: core.Object, Workers: w})
+			add(Candidate{Channel: core.Object, Workers: w})
 		}
-		if hasChannel(core.Memory) {
+		for _, kind := range []core.ChannelKind{core.Memory, core.Hybrid} {
+			if !hasChannel(kind) {
+				continue
+			}
 			for _, nt := range g.KVNodeTypes {
 				for _, nodes := range g.KVNodes {
 					if nodes < 1 {
@@ -473,8 +514,8 @@ func (p *Planner) candidates() []Candidate {
 						if reps < 0 {
 							reps = 0
 						}
-						cands = append(cands, Candidate{
-							Channel: core.Memory, Workers: w, KVNodeType: nt,
+						add(Candidate{
+							Channel: kind, Workers: w, KVNodeType: nt,
 							KVNodes: nodes, KVReplicas: reps,
 						})
 					}
@@ -518,11 +559,12 @@ func (p *Planner) config(c Candidate) (core.Config, error) {
 		}
 		cfg.Plan = pl
 	}
-	if c.Channel == core.Memory {
+	if c.usesKVStore() {
 		cfg.KVNodeType = c.KVNodeType
 		cfg.KVNodes = c.KVNodes
 		cfg.KVReplicas = c.KVReplicas
 	}
+	cfg.Collective = c.Algo
 	if p.opts.DeployOverride != nil {
 		p.opts.DeployOverride(&cfg)
 	}
@@ -558,7 +600,7 @@ func (p *Planner) runTrial(c Candidate, batch int) measurement {
 		return measurement{err: err}
 	}
 	m := measurement{latency: res.Latency, cost: res.Cost.Total(), kvCost: res.Cost.KV}
-	if c.Channel == core.Memory {
+	if c.usesKVStore() {
 		nodeType := d.Cfg.KVNodeType
 		// The flat daily bill covers the whole cluster: primaries times
 		// (1 + replicas) — the shard/replica axes both price in here.

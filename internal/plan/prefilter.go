@@ -2,9 +2,12 @@ package plan
 
 import (
 	"fmt"
+	"time"
 
 	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/cloud/kvstore"
 	"fsdinference/internal/cloud/pricing"
+	"fsdinference/internal/collective"
 	"fsdinference/internal/core"
 	"fsdinference/internal/cost"
 )
@@ -33,6 +36,15 @@ import (
 // anything closer is measured.
 const prefilterMargin = 10
 
+// hybridThreshold mirrors the core.Config.HybridThresholdBytes default:
+// per-pair volumes above it ride the hybrid channel's object-storage
+// bulk path, leaving only a pointer frame resident in the store.
+const hybridThreshold = 128 << 10
+
+// bulkPointerBytes approximates the store-resident footprint of one bulk
+// value on the hybrid channel: the pointer frame plus key overhead.
+const bulkPointerBytes = 128
+
 // analyticWorkload derives the §IV cost-model workload for a candidate:
 // per-pair volumes from the trial partition plan's communication stats at
 // the profile's batch width, compressed at the engine's typical ratio.
@@ -56,6 +68,7 @@ func (p *Planner) analyticWorkload(workers, batch int, profile WorkloadProfile) 
 		PairsPerLayer:        pairsPerLayer,
 		Layers:               layers,
 		QueriesPerDay:        profile.QueriesPerDay,
+		ConcurrentRuns:       profile.Concurrency,
 	}, nil
 }
 
@@ -66,6 +79,9 @@ func (p *Planner) analyticWorkload(workers, batch int, profile WorkloadProfile) 
 func (p *Planner) prefilter(c Candidate, profile WorkloadProfile) (reason string, breakEven int64, err error) {
 	if c.Channel == core.Serial {
 		return "", 0, nil
+	}
+	if reason := p.pruneCollective(c, profile.BatchSamples); reason != "" {
+		return reason, 0, nil
 	}
 	w, err := p.analyticWorkload(c.Workers, profile.BatchSamples, profile)
 	if err != nil {
@@ -92,21 +108,16 @@ func (p *Planner) prefilter(c Candidate, profile WorkloadProfile) (reason string
 			return fmt.Sprintf("sustained volume needs ~%d ops/s, saturating %d shard(s) of %s",
 				cost.MemoryOpsPerQuery(w)*profile.QueriesPerDay/86400, shards, c.KVNodeType), 0, nil
 		}
-		cat := pricing.Default()
-		if c.KVNodeType != "" {
-			w.MemoryNodeHourly = cat.KVNodeHourly[c.KVNodeType]
+		// Feasibility: the peak resident working set — every in-flight
+		// run's layer values — must fit the cluster's usable memory. Bulk
+		// tensors at high run concurrency overflow the small node sizes,
+		// which is the rule that forces the memory channel onto bigger
+		// (pricier) nodes while the hybrid channel keeps the small one.
+		if cost.MemoryNodeCapacityExceeded(w, c.KVNodeType, shards) {
+			return fmt.Sprintf("working set ~%d MB (x%d concurrent runs) overflows %d shard(s) of %s",
+				cost.MemoryWorkingSetBytes(w)>>20, max(1, profile.Concurrency), shards, c.KVNodeType), 0, nil
 		}
-		// The flat daily bill grows with the cluster: shards times
-		// (1 + replicas) nodes all accrue hours, so the break-even
-		// volume scales with the node count.
-		if n := c.clusterNodes(); n > 1 {
-			rate := w.MemoryNodeHourly
-			if rate <= 0 {
-				rate = cat.KVNodeHourly[core.DefaultKVNodeType]
-			}
-			w.MemoryNodeHourly = rate * float64(n)
-		}
-		be := cost.MemoryBreakEvenQueriesPerDay(cat, w)
+		be := nodeBreakEven(c, w)
 		if costOnly && profile.QueriesPerDay > 0 && profile.QueriesPerDay*prefilterMargin < be {
 			return fmt.Sprintf("idle billing: %d queries/day is far below the ~%d/day break-even, so the node mostly bills idle",
 				profile.QueriesPerDay, be), be, nil
@@ -124,6 +135,29 @@ func (p *Planner) prefilter(c Candidate, profile WorkloadProfile) (reason string
 				c.clusterNodes(), c.clusterNodes()), be, nil
 		}
 		return "", be, nil
+	case core.Hybrid:
+		// The hybrid channel provisions the same store for its control
+		// plane, so the idle-billing rule applies unchanged; the bulk
+		// path chunks oversized values through object storage, so
+		// neither the single-value cap nor the node-capacity rule sees
+		// the bulk volume — only the tiny pointer frames stay resident.
+		if w.BytesPerPairPerLayer > hybridThreshold {
+			w.BytesPerPairPerLayer = bulkPointerBytes
+		}
+		shards := c.KVNodes
+		if shards < 1 {
+			shards = 1
+		}
+		if cost.MemoryNodeCapacityExceeded(w, c.KVNodeType, shards) {
+			return fmt.Sprintf("control-plane working set ~%d MB overflows %d shard(s) of %s",
+				cost.MemoryWorkingSetBytes(w)>>20, shards, c.KVNodeType), 0, nil
+		}
+		be := nodeBreakEven(c, w)
+		if costOnly && profile.QueriesPerDay > 0 && profile.QueriesPerDay*prefilterMargin < be {
+			return fmt.Sprintf("idle billing: %d queries/day is far below the ~%d/day break-even, so the control-plane node mostly bills idle",
+				profile.QueriesPerDay, be), be, nil
+		}
+		return "", be, nil
 	case core.Queue:
 		if costOnly && cost.QueueSaturated(w.BytesPerPairPerLayer) {
 			return fmt.Sprintf("per-pair volume %d B needs %d publish chunks, saturating pub-sub payload capacity",
@@ -135,6 +169,107 @@ func (p *Planner) prefilter(c Candidate, profile WorkloadProfile) (reason string
 		}
 	}
 	return "", 0, nil
+}
+
+// nodeBreakEven prices the candidate's provisioned-store break-even
+// volume: the flat daily bill grows with the cluster — shards times
+// (1 + replicas) nodes all accrue hours — so the break-even scales with
+// the node count.
+func nodeBreakEven(c Candidate, w cost.Workload) int64 {
+	cat := pricing.Default()
+	if c.KVNodeType != "" {
+		w.MemoryNodeHourly = cat.KVNodeHourly[c.KVNodeType]
+	}
+	if n := c.clusterNodes(); n > 1 {
+		rate := w.MemoryNodeHourly
+		if rate <= 0 {
+			rate = cat.KVNodeHourly[core.DefaultKVNodeType]
+		}
+		w.MemoryNodeHourly = rate * float64(n)
+	}
+	return cost.MemoryBreakEvenQueriesPerDay(cat, w)
+}
+
+// pruneCollective drops a candidate whose collective topology the §IV-style
+// analytic model strictly dominates within the grid: another explored
+// topology finishes the reduction allreduce in at most half the time with
+// no extra messages (so no extra request billing either). It fires only
+// when the grid actually explores alternatives, and never judges AutoAlgo
+// — that candidate defers to the same model per call.
+func (p *Planner) pruneCollective(c Candidate, batch int) string {
+	algs := p.opts.Grid.Collectives
+	if len(algs) < 2 || c.Algo == collective.AutoAlgo || c.Channel == core.Serial || c.Workers < 2 {
+		return ""
+	}
+	msg := p.reduceBytes(c.Workers, batch)
+	tr := planTraits(c, msg)
+	mine := collective.EstimateOp(collective.OpAllreduce, c.Algo, c.Workers, msg, tr)
+	for _, a := range algs {
+		if a == c.Algo || a == collective.AutoAlgo {
+			continue
+		}
+		other := collective.EstimateOp(collective.OpAllreduce, a, c.Workers, msg, tr)
+		if 2*other.Latency <= mine.Latency && other.Messages <= mine.Messages {
+			return fmt.Sprintf("collective %v: analytic allreduce %v at P=%d is dominated by %v's %v with no extra messages",
+				c.Algo, mine.Latency.Round(time.Millisecond), c.Workers,
+				a, other.Latency.Round(time.Millisecond))
+		}
+	}
+	return ""
+}
+
+// reduceBytes is the rank-independent reduce-contribution estimate the
+// workers themselves use for AutoAlgo: the plan's even row share, dense.
+func (p *Planner) reduceBytes(workers, batch int) int64 {
+	rows := int64(p.m.Spec.Neurons) / int64(workers)
+	if rows < 1 {
+		rows = 1
+	}
+	return rows * int64(batch+1) * 4
+}
+
+// planTraits mirrors the worker-side channel traits from the calibrated
+// service defaults, so the planner's analytic verdicts agree with the
+// per-call picker inside a deployment.
+func planTraits(c Candidate, msgBytes int64) collective.Traits {
+	cfg := env.DefaultConfig()
+	const defaultThreads = 4 // core.Config.Threads default
+	const hybridFanout = 32  // core.Config.HybridFanout default
+	mem := func() collective.Traits {
+		nt, ok := kvstore.Catalog[c.KVNodeType]
+		if !ok {
+			nt = kvstore.Catalog[core.DefaultKVNodeType]
+		}
+		return collective.Traits{
+			PerMsg:      2 * cfg.KV.OpLatency,
+			BytesPerSec: nt.NetBytesPerSec / 2,
+			Fan:         defaultThreads,
+		}
+	}
+	obj := func(fan int) collective.Traits {
+		return collective.Traits{
+			PerMsg:      cfg.S3.PutLatency + cfg.S3.ListLatency + cfg.S3.GetLatency,
+			BytesPerSec: 2 / (1/cfg.S3.PutBytesPerSec + 1/cfg.S3.GetBytesPerSec),
+			Fan:         fan,
+		}
+	}
+	switch c.Channel {
+	case core.Memory:
+		return mem()
+	case core.Hybrid:
+		if msgBytes > hybridThreshold {
+			return obj(hybridFanout)
+		}
+		return mem()
+	case core.Object:
+		return obj(defaultThreads)
+	default: // Queue
+		return collective.Traits{
+			PerMsg:      cfg.SNS.PublishLatency + cfg.SNS.DeliveryLatency + cfg.SQS.ReceiveLatency,
+			BytesPerSec: cfg.SQS.TransferBytesPerSec,
+			Fan:         defaultThreads,
+		}
+	}
 }
 
 // PruneVerdict is the analytic pre-filter's outcome for one channel of a

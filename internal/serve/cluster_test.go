@@ -143,3 +143,70 @@ func TestReplayReportCarriesFailoverStats(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayTraceEmbeddedChaos drives the same shard-kill scenario through
+// the declarative chaos API: KillNode and Partition events embedded in the
+// replay options, applied at trace-relative times, counted in the report —
+// with an out-of-range event counted as skipped, not failed.
+func TestReplayTraceEmbeddedChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos replay is a long simulation")
+	}
+	e := env.NewDefault()
+	m := testModel(t, 256, 6)
+	svc, err := NewService(e,
+		WithEndpoint("mem", m, WithChannel(core.Memory), WithWorkers(4),
+			WithDeployOverride(func(c *core.Config) {
+				c.KVNodes = 2
+				c.KVReplicas = 1
+				c.KVFailoverWindow = 2 * time.Second
+				c.KVReplicationLag = 300 * time.Millisecond
+			})),
+		WithCoalescing(8, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := []workload.Query{
+		{At: 0, Neurons: 256, Samples: 8},
+		{At: 2 * time.Minute, Neurons: 256, Samples: 8},
+	}
+	rep, err := svc.Replay(trace, ReplayOptions{
+		Seed:   11,
+		Verify: true,
+		Chaos: []ChaosEvent{
+			{At: 1800 * time.Millisecond, Kind: KillNode, Endpoint: "mem", Shard: 0},
+			{At: 2*time.Minute + 500*time.Millisecond, Kind: Partition, Shard: 1, Duration: 400 * time.Millisecond},
+			{At: 3 * time.Minute, Kind: KillNode, Shard: 9}, // out of range: skipped
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d failed queries:\n%s", rep.Failed, rep)
+	}
+	if rep.ChaosKills != 1 || rep.ChaosPartitions != 1 || rep.ChaosSkipped != 1 {
+		t.Fatalf("chaos counters kill/partition/skipped = %d/%d/%d, want 1/1/1:\n%s",
+			rep.ChaosKills, rep.ChaosPartitions, rep.ChaosSkipped, rep)
+	}
+	if rep.KVFailovers != 1 {
+		t.Fatalf("embedded kill caused %d failovers, want 1:\n%s", rep.KVFailovers, rep)
+	}
+	if rep.Collectives["barrier/flat"] <= 0 {
+		t.Fatalf("report carries no collective counters: %v", rep.Collectives)
+	}
+	out := rep.String()
+	for _, want := range []string{"chaos: 1 node kill(s), 1 partition(s) injected, 1 skipped", "collectives:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report does not surface %q:\n%s", want, out)
+		}
+	}
+	// An event against an unknown endpoint must fail fast, before the
+	// simulation spends anything.
+	if _, err := svc.Replay(trace, ReplayOptions{
+		Chaos: []ChaosEvent{{Kind: KillNode, Endpoint: "nope"}},
+	}); err == nil {
+		t.Fatal("chaos event against unknown endpoint did not fail")
+	}
+}

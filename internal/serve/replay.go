@@ -5,10 +5,51 @@ import (
 	"sort"
 	"time"
 
+	"fsdinference/internal/cloud/kvcluster"
 	"fsdinference/internal/model"
 	"fsdinference/internal/sparse"
 	"fsdinference/internal/workload"
 )
+
+// ChaosKind selects a fault-injection action embedded in a replay trace.
+type ChaosKind int
+
+const (
+	// KillNode fails the target shard's primary at the event time: with
+	// replicas the shard fails over, without them in-flight values are
+	// lost and the channel's sender-log recovery pays the bill.
+	KillNode ChaosKind = iota
+	// Partition makes the target shard unreachable for the event's
+	// Duration without killing it; clients block and retry.
+	Partition
+)
+
+func (k ChaosKind) String() string {
+	if k == Partition {
+		return "partition"
+	}
+	return "kill-node"
+}
+
+// ChaosEvent is one trace-embedded fault: at a trace-relative virtual
+// time, hit an endpoint's provisioned store cluster. Events against
+// endpoints that have no live cluster at fire time (per-request channels,
+// or every replica torn down) are counted as skipped, not failures — a
+// chaos trace must stay replayable across configuration changes.
+type ChaosEvent struct {
+	// At is the injection time, relative to the replay start (same clock
+	// as the trace's Query.At).
+	At time.Duration
+	// Kind selects the fault.
+	Kind ChaosKind
+	// Endpoint names the target; empty targets the first endpoint that
+	// has a provisioned store cluster when the event fires.
+	Endpoint string
+	// Shard is the target shard index within the cluster.
+	Shard int
+	// Duration is the partition length (Partition only; default 1s).
+	Duration time.Duration
+}
 
 // ReplayOptions tunes a trace replay.
 type ReplayOptions struct {
@@ -27,6 +68,9 @@ type ReplayOptions struct {
 	// Verify checks every request's output against serial float64
 	// reference inference; a mismatch fails the replay.
 	Verify bool
+	// Chaos embeds fault-injection events in the trace's timeline; the
+	// report counts the injections and the failover fallout.
+	Chaos []ChaosEvent
 }
 
 // Replay drives a workload query trace through the service inside one
@@ -106,6 +150,41 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 		}
 		handles[i] = s.SubmitWith(name, inputs[i], base+q.At, so)
 	}
+
+	// Chaos events ride the same trace-relative timeline as the queries.
+	var chaosKills, chaosPartitions, chaosSkipped int
+	for i, ev := range opts.Chaos {
+		if ev.Endpoint != "" && s.byName[ev.Endpoint] == nil {
+			return nil, fmt.Errorf("serve: chaos event %d targets unknown endpoint %q", i, ev.Endpoint)
+		}
+		ev := ev
+		s.env.K.At(base+ev.At, func() {
+			cl := s.chaosTarget(ev.Endpoint)
+			if cl == nil || ev.Shard < 0 || ev.Shard >= cl.Shards() {
+				chaosSkipped++
+				return
+			}
+			switch ev.Kind {
+			case Partition:
+				d := ev.Duration
+				if d <= 0 {
+					d = time.Second
+				}
+				if cl.Partition(ev.Shard, d) == nil {
+					chaosPartitions++
+				} else {
+					chaosSkipped++
+				}
+			default:
+				if cl.KillNode(ev.Shard) == nil {
+					chaosKills++
+				} else {
+					chaosSkipped++
+				}
+			}
+		})
+	}
+
 	if err := s.Run(); err != nil {
 		return nil, err
 	}
@@ -238,5 +317,37 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	rep.KVMoved = used.KVMoved
 	rep.ColdStarts = s.env.FaaS.ColdStarts - cold0
 	rep.WarmStarts = s.env.FaaS.WarmStarts - warm0
+	if len(used.Collectives) > 0 {
+		rep.Collectives = used.Collectives
+	}
+	rep.HybridSmallValues = used.HybridSmallValues
+	rep.HybridBulkValues = used.HybridBulkValues
+	rep.HybridBulkBytes = used.HybridBulkBytes
+	rep.HybridChunks = used.HybridChunks
+	rep.ChaosKills = chaosKills
+	rep.ChaosPartitions = chaosPartitions
+	rep.ChaosSkipped = chaosSkipped
 	return rep, nil
+}
+
+// chaosTarget resolves a chaos event's target cluster at fire time: the
+// named endpoint's first replica with a provisioned store, or — with no
+// name — the first such replica service-wide.
+func (s *Service) chaosTarget(name string) *kvcluster.Cluster {
+	eps := s.eps
+	if name != "" {
+		ep := s.byName[name]
+		if ep == nil {
+			return nil
+		}
+		eps = []*Endpoint{ep}
+	}
+	for _, ep := range eps {
+		for _, rep := range ep.sched.pool {
+			if cl := rep.d.KVCluster(); cl != nil {
+				return cl
+			}
+		}
+	}
+	return nil
 }

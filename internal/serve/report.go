@@ -187,6 +187,27 @@ type Report struct {
 	// launches during the replay.
 	ColdStarts int
 	WarmStarts int
+
+	// Collectives counts the collective operations the replay's engine
+	// runs executed, keyed "op/algorithm" (e.g. "barrier/tree") — nil
+	// when no distributed run happened in the window.
+	Collectives map[string]int64
+
+	// Hybrid channel routing over the window: values kept inline on the
+	// memory control plane versus values chunked through object storage,
+	// with the bulk byte and chunk volumes.
+	HybridSmallValues int64
+	HybridBulkValues  int64
+	HybridBulkBytes   int64
+	HybridChunks      int64
+
+	// Chaos counters: trace-embedded fault injections applied during the
+	// replay (and the ones skipped because no provisioned cluster was
+	// live at fire time). The failover fallout shows up in KVFailovers,
+	// KVLostValues and KVResends above.
+	ChaosKills      int
+	ChaosPartitions int
+	ChaosSkipped    int
 }
 
 // String renders the report as a deterministic fixed-order text table, so
@@ -248,6 +269,26 @@ func (r *Report) String() string {
 	if r.KVFailovers > 0 {
 		fmt.Fprintf(&sb, "store failovers: %d, %d value(s) lost, %d re-sent, %d MOVED redirect(s)\n",
 			r.KVFailovers, r.KVLostValues, r.KVResends, r.KVMoved)
+	}
+	if r.ChaosKills+r.ChaosPartitions+r.ChaosSkipped > 0 {
+		fmt.Fprintf(&sb, "chaos: %d node kill(s), %d partition(s) injected, %d skipped\n",
+			r.ChaosKills, r.ChaosPartitions, r.ChaosSkipped)
+	}
+	if len(r.Collectives) > 0 {
+		keys := make([]string, 0, len(r.Collectives))
+		for k := range r.Collectives {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("collectives:")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%d", k, r.Collectives[k])
+		}
+		sb.WriteByte('\n')
+	}
+	if r.HybridSmallValues+r.HybridBulkValues > 0 {
+		fmt.Fprintf(&sb, "hybrid routing: %d inline value(s), %d bulk value(s) (%d chunks, %d bytes)\n",
+			r.HybridSmallValues, r.HybridBulkValues, r.HybridChunks, r.HybridBulkBytes)
 	}
 	fmt.Fprintf(&sb, "instance starts: %d cold / %d warm\n", r.ColdStarts, r.WarmStarts)
 	return sb.String()

@@ -198,6 +198,7 @@ func (sc *scheduler) resetObservationWindow() {
 func (sc *scheduler) observedProfile(batch int) plan.WorkloadProfile {
 	p := plan.WorkloadProfile{
 		BatchSamples:  batch,
+		Concurrency:   sc.ep.stats.MaxConcurrent,
 		ArrivalRate:   sc.arrivalRate(),
 		QueriesPerDay: sc.queriesPerDay(),
 	}

@@ -42,6 +42,13 @@ type benchPoint struct {
 	// replay once both the new point and the baseline carry it.
 	ClusterBenchmark string `json:"cluster_benchmark"`
 	ClusterNsPerOp   int64  `json:"cluster_ns_per_op"`
+
+	// Collectives and hybrid-channel gates (BENCH_5 onward), guarded the
+	// same way. The tree allreduce and the hybrid channel are the guarded
+	// series; the flat allreduce rides along as the comparison baseline.
+	AllreduceFlatNsPerOp int64 `json:"allreduce_flat_ns_per_op"`
+	AllreduceTreeNsPerOp int64 `json:"allreduce_tree_ns_per_op"`
+	HybridNsPerOp        int64 `json:"hybrid_ns_per_op"`
 }
 
 var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
@@ -136,6 +143,12 @@ func printHistory(dir string) error {
 		if pt.ClusterNsPerOp > 0 {
 			fmt.Printf("  cluster %d ns/op", pt.ClusterNsPerOp)
 		}
+		if pt.AllreduceTreeNsPerOp > 0 {
+			fmt.Printf("  allreduce flat/tree %d/%d ns/op", pt.AllreduceFlatNsPerOp, pt.AllreduceTreeNsPerOp)
+		}
+		if pt.HybridNsPerOp > 0 {
+			fmt.Printf("  hybrid %d ns/op", pt.HybridNsPerOp)
+		}
 		fmt.Println()
 		prev = pt.NsPerOp
 	}
@@ -213,21 +226,32 @@ func main() {
 		log.Fatalf("benchguard: serving replay regressed %.1f%% (> %.0f%% allowed)",
 			100*change, 100**threshold)
 	}
-	// The cluster-channel gate joins the trajectory at BENCH_4: older
-	// baselines carry no cluster point, so the first cluster-bearing file
-	// just starts that series.
-	switch {
-	case cur.ClusterNsPerOp > 0 && prev.ClusterNsPerOp > 0:
-		cchange := float64(cur.ClusterNsPerOp-prev.ClusterNsPerOp) / float64(prev.ClusterNsPerOp)
-		fmt.Printf("benchguard: cluster channel %d ns/op vs %d ns/op (%+.1f%%)\n",
-			cur.ClusterNsPerOp, prev.ClusterNsPerOp, 100*cchange)
-		if cchange > *threshold {
-			log.Fatalf("benchguard: cluster channel regressed %.1f%% (> %.0f%% allowed)",
-				100*cchange, 100**threshold)
+	// Later-joining series gate the same way once both the new point and
+	// the baseline carry them: the cluster channel from BENCH_4, the tree
+	// allreduce and the hybrid channel from BENCH_5. The first file
+	// bearing a series just starts it.
+	series := []struct {
+		name      string
+		cur, base int64
+	}{
+		{"cluster channel", cur.ClusterNsPerOp, prev.ClusterNsPerOp},
+		{"tree allreduce", cur.AllreduceTreeNsPerOp, prev.AllreduceTreeNsPerOp},
+		{"hybrid channel", cur.HybridNsPerOp, prev.HybridNsPerOp},
+	}
+	for _, s := range series {
+		switch {
+		case s.cur > 0 && s.base > 0:
+			schange := float64(s.cur-s.base) / float64(s.base)
+			fmt.Printf("benchguard: %s %d ns/op vs %d ns/op (%+.1f%%)\n",
+				s.name, s.cur, s.base, 100*schange)
+			if schange > *threshold {
+				log.Fatalf("benchguard: %s regressed %.1f%% (> %.0f%% allowed)",
+					s.name, 100*schange, 100**threshold)
+			}
+		case s.cur > 0:
+			fmt.Printf("benchguard: no earlier %s point; %s starts that series at %d ns/op\n",
+				s.name, *newPath, s.cur)
 		}
-	case cur.ClusterNsPerOp > 0:
-		fmt.Printf("benchguard: no earlier cluster point; %s starts that series at %d ns/op\n",
-			*newPath, cur.ClusterNsPerOp)
 	}
 	fmt.Println("benchguard: within budget")
 }

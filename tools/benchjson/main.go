@@ -4,8 +4,10 @@
 // every PR can append a point to the perf trajectory without parsing go
 // test output. From BENCH_4 on, the point also carries the cluster-channel
 // benchmark (the BenchmarkClusterChannel workload: one inference over a
-// 2-shard, 1-replica memory-store cluster), guarded by benchguard
-// alongside the serving-replay gate.
+// 2-shard, 1-replica memory-store cluster), and from BENCH_5 on the
+// collectives pair (BenchmarkAllreduce flat/tree at P=32) and the hybrid
+// channel (BenchmarkHybridChannel), all guarded by benchguard alongside
+// the serving-replay gate.
 //
 // Usage:
 //
@@ -44,6 +46,13 @@ type benchReport struct {
 	// benchguard skips the comparison against pre-cluster baselines).
 	ClusterBenchmark string `json:"cluster_benchmark,omitempty"`
 	ClusterNsPerOp   int64  `json:"cluster_ns_per_op,omitempty"`
+
+	// Collectives and hybrid-channel points (BENCH_5 onward): the
+	// BenchmarkAllreduce flat/tree pair at P=32 and the
+	// BenchmarkHybridChannel size-aware routing workload.
+	AllreduceFlatNsPerOp int64 `json:"allreduce_flat_ns_per_op,omitempty"`
+	AllreduceTreeNsPerOp int64 `json:"allreduce_tree_ns_per_op,omitempty"`
+	HybridNsPerOp        int64 `json:"hybrid_ns_per_op,omitempty"`
 }
 
 func main() {
@@ -109,6 +118,53 @@ func main() {
 		}
 	})
 
+	// The collectives point: one closing allreduce at P=32 on the memory
+	// channel, flat versus binomial tree, matching BenchmarkAllreduce.
+	arPlan, err := fsdinference.BuildPlan(mCluster, 32, fsdinference.Block, fsdinference.PartitionOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	arInput := fsdinference.GenerateInputs(256, 16, 0.2, 2)
+	allreduce := func(alg fsdinference.CollectiveAlgorithm) int64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := fsdinference.Deploy(fsdinference.NewEnv(), fsdinference.Config{
+					Model: mCluster, Plan: arPlan, Channel: fsdinference.Memory,
+					Collective: alg, AllreduceOutput: true, Compress: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.Infer(arInput); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return r.NsPerOp()
+	}
+
+	// The hybrid-channel point: size-aware routing with both paths hot,
+	// matching BenchmarkHybridChannel.
+	hyPlan, err := fsdinference.BuildPlan(mCluster, 8, fsdinference.HGPDNN, fsdinference.PartitionOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hyInput := fsdinference.GenerateInputs(256, 64, 0.2, 2)
+	hybridRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := fsdinference.Deploy(fsdinference.NewEnv(), fsdinference.Config{
+				Model: mCluster, Plan: hyPlan, Channel: fsdinference.Hybrid,
+				HybridThresholdBytes: 2 << 10,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Infer(hyInput); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	br := benchReport{
 		Benchmark:    "BenchmarkServiceReplay",
 		NsPerOp:      res.NsPerOp(),
@@ -125,6 +181,10 @@ func main() {
 
 		ClusterBenchmark: "BenchmarkClusterChannel",
 		ClusterNsPerOp:   clusterRes.NsPerOp(),
+
+		AllreduceFlatNsPerOp: allreduce(fsdinference.FlatCollective),
+		AllreduceTreeNsPerOp: allreduce(fsdinference.TreeCollective),
+		HybridNsPerOp:        hybridRes.NsPerOp(),
 	}
 	data, err := json.MarshalIndent(br, "", "  ")
 	if err != nil {
