@@ -1,10 +1,10 @@
 # Tier-1 verification: formatting, static checks, build, tests.
-.PHONY: check fmt vet build test bench bench-guard
+.PHONY: check fmt vet build test bench bench-guard profile
 
 # BENCH_N is this PR's point on the perf trajectory: bump it each PR so
 # `make bench` appends a new BENCH_N.json and benchguard compares it
 # against the previous one.
-BENCH_N := 5
+BENCH_N := 6
 
 check: fmt vet build test
 
@@ -30,3 +30,16 @@ bench: bench-guard
 bench-guard:
 	go run ./tools/benchjson -out BENCH_$(BENCH_N).json
 	go run ./tools/benchguard -new BENCH_$(BENCH_N).json
+
+# profile captures CPU and heap profiles of the benchmark named by
+# PROFILE_BENCH (default: the million-query replay) and prints the top-10
+# flat-cost functions of each, so "where does the replay engine spend its
+# time" is one command away. Profiles land in ./profiles/.
+PROFILE_BENCH := BenchmarkMillionQueryReplay
+profile:
+	mkdir -p profiles
+	go test -run '^$$' -bench $(PROFILE_BENCH) -benchtime 1x \
+		-cpuprofile profiles/cpu.prof -memprofile profiles/mem.prof \
+		-o profiles/bench.test .
+	go tool pprof -top -nodecount=10 profiles/bench.test profiles/cpu.prof
+	go tool pprof -top -nodecount=10 -sample_index=alloc_space profiles/bench.test profiles/mem.prof

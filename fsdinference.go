@@ -384,7 +384,25 @@ type (
 	PlatformCosts = workload.PlatformCosts
 	// CostRow is one point of the Fig. 4 daily-cost series.
 	CostRow = workload.Row
+	// TraceStream yields a workload trace incrementally for streaming
+	// replay (Service.ReplayStream): million-query days never
+	// materialise as one slice.
+	TraceStream = workload.TraceStream
 )
+
+// WorkloadStream adapts an in-memory trace to a TraceStream, yielding it
+// in batches of the given size (<= 0 yields the whole trace at once).
+func WorkloadStream(trace []Query, batch int) TraceStream {
+	return workload.Stream(trace, batch)
+}
+
+// DiurnalDay streams a day of total queries with a diurnal arrival
+// profile (afternoon peak, pre-dawn trough) spread round-robin over the
+// model sizes, in batches of batch queries, without materialising the
+// trace. Deterministic in seed.
+func DiurnalDay(total int, sizes []int, samplesPerQuery int, seed int64, batch int) TraceStream {
+	return workload.DiurnalDay(total, sizes, samplesPerQuery, seed, batch)
+}
 
 // WorkloadDay generates a deterministic sporadic day of queries:
 // totalSamples split into batches of samplesPerQuery, spread evenly over

@@ -104,7 +104,6 @@ type Platform struct {
 	k     *sim.Kernel
 	meter *usage.Meter
 	cfg   Config
-	rng   *rand.Rand
 
 	fns  map[string]*function
 	live int
@@ -119,6 +118,12 @@ type Platform struct {
 type function struct {
 	cfg  FunctionConfig
 	warm []time.Duration // times at which idle warm instances became free
+	// rng drives this function's cold-start jitter. It is scoped per
+	// function (not platform-wide) so a function's jitter sequence depends
+	// only on its own invocation order, never on how other functions'
+	// launches interleave with it — the property that lets sharded replay
+	// lanes reproduce a shared-kernel run exactly.
+	rng *rand.Rand
 }
 
 // New returns a Platform on kernel k metering into meter.
@@ -127,7 +132,6 @@ func New(k *sim.Kernel, meter *usage.Meter, cfg Config) *Platform {
 		k:     k,
 		meter: meter,
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		fns:   make(map[string]*function),
 	}
 }
@@ -155,7 +159,7 @@ func (pl *Platform) Register(fc FunctionConfig) error {
 	if fc.Handler == nil {
 		return fmt.Errorf("faas: function %q has no handler", fc.Name)
 	}
-	pl.fns[fc.Name] = &function{cfg: fc}
+	pl.fns[fc.Name] = &function{cfg: fc, rng: rand.New(rand.NewSource(pl.cfg.Seed))}
 	return nil
 }
 
@@ -236,7 +240,7 @@ func (pl *Platform) invoke(p *sim.Proc, name string, payload []byte) (*Future, e
 		warm = true
 		pl.WarmStarts++
 	} else {
-		jitter := 0.8 + 0.4*pl.rng.Float64()
+		jitter := 0.8 + 0.4*fn.rng.Float64()
 		start = time.Duration(float64(start) * jitter)
 		pl.ColdStarts++
 	}

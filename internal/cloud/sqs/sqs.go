@@ -113,7 +113,6 @@ type Service struct {
 	k      *sim.Kernel
 	meter  *usage.Meter
 	cfg    Config
-	rng    *rand.Rand
 	queues map[string]*Queue
 }
 
@@ -121,7 +120,6 @@ type Service struct {
 func New(k *sim.Kernel, meter *usage.Meter, cfg Config) *Service {
 	return &Service{
 		k: k, meter: meter, cfg: cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		queues: make(map[string]*Queue),
 	}
 }
@@ -142,6 +140,7 @@ func (s *Service) CreateQueue(name string) *Queue {
 		shards:   make([][]*qmsg, s.cfg.Shards),
 		inflight: make(map[int64]*qmsg),
 		cond:     sim.NewCond(s.k),
+		rng:      rand.New(rand.NewSource(s.cfg.Seed)),
 	}
 	s.queues[name] = q
 	return q
@@ -173,6 +172,12 @@ type Queue struct {
 	inflight map[int64]*qmsg
 	cond     *sim.Cond
 	nextID   int64
+	// rng drives this queue's short-poll shard sampling. Scoped per queue
+	// (not service-wide) so a queue's sampling sequence depends only on
+	// its own poll order, never on how other queues' polls interleave —
+	// the property that lets sharded replay lanes reproduce a
+	// shared-kernel run exactly.
+	rng *rand.Rand
 
 	// Stats for experiments and cost validation.
 	MessagesSent     int64
@@ -289,12 +294,12 @@ func (q *Queue) sampleShards(long bool) []int {
 	}
 	var picked []int
 	for i := 0; i < n; i++ {
-		if q.svc.rng.Float64() < q.svc.cfg.ShortPollShardFraction {
+		if q.rng.Float64() < q.svc.cfg.ShortPollShardFraction {
 			picked = append(picked, i)
 		}
 	}
 	if len(picked) == 0 {
-		picked = append(picked, q.svc.rng.Intn(n))
+		picked = append(picked, q.rng.Intn(n))
 	}
 	return picked
 }

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fsdinference/internal/model"
+	"fsdinference/internal/partition"
+	"fsdinference/internal/sparse"
+	"fsdinference/internal/wire"
+)
+
+// Staging a model — slicing per-worker row blocks and binary-encoding every
+// layer — is pure in (model, plan), yet it used to run per Deploy and every
+// handler re-decoded its weight blobs per run. At replay scale (replica
+// pools, autoscaling, per-lane deployments) that made EncodeCSR/DecodeCSR
+// the dominant allocator. stagedCache memoises the artifacts process-wide:
+// the encoded blobs keep the store objects (and thus simulated transfer
+// sizes, latencies and metered bytes) exactly as before, while handlers
+// reuse the decoded CSR in place of decoding a private copy. Weight blocks
+// are read-only in the compute path (sparse.Mul does not mutate its
+// operands), so sharing one decoded block across runs, replicas and replay
+// lanes is safe.
+var stagedCache sync.Map // stagedKey -> *stagedModel
+
+type stagedKey struct {
+	model *model.Model
+	plan  *partition.Plan // nil for Serial
+}
+
+// stagedModel holds one deployment shape's staging artifacts: store key →
+// encoded blob, and store key → the decoded weight block the blob encodes.
+type stagedModel struct {
+	blobs  map[string][]byte
+	blocks map[string]*sparse.CSR
+}
+
+func stagedFor(cfg Config) *stagedModel {
+	key := stagedKey{model: cfg.Model}
+	if cfg.Channel != Serial {
+		key.plan = cfg.Plan
+	}
+	if v, ok := stagedCache.Load(key); ok {
+		return v.(*stagedModel)
+	}
+	s := &stagedModel{
+		blobs:  make(map[string][]byte),
+		blocks: make(map[string]*sparse.CSR),
+	}
+	if cfg.Channel == Serial {
+		for k, w := range cfg.Model.Layers {
+			sk := fmt.Sprintf("model/full/layer-%d.w", k)
+			s.blobs[sk] = model.EncodeCSR(w)
+			s.blocks[sk] = w
+		}
+	} else {
+		plan := cfg.Plan
+		for worker := 0; worker < plan.Workers; worker++ {
+			for k, w := range cfg.Model.Layers {
+				blk := w.SelectRows(plan.Rows[worker])
+				sk := fmt.Sprintf("model/w%d/layer-%d.w", worker, k)
+				s.blobs[sk] = model.EncodeCSR(blk)
+				s.blocks[sk] = blk
+			}
+		}
+	}
+	if v, loaded := stagedCache.LoadOrStore(key, s); loaded {
+		return v.(*stagedModel)
+	}
+	return s
+}
+
+// inputEncMemo caches the encoded staging payloads of an input matrix
+// (full-matrix for Serial, per-worker row blocks otherwise). Replays and
+// planner probes stage the same (memoised) coalesced batches repeatedly,
+// and the zlib encode of each staged input dominated the replay profile.
+// Keying by input-matrix identity is sound because the serving layer
+// memoises generated inputs and merged batches: identical batches arrive
+// as identical pointers. Bounded like the other memos — a stream of a
+// million distinct inputs pays one map probe each and fixed memory.
+var (
+	inputEncMemo     sync.Map // inputEncKey -> [][]byte
+	inputEncMemoSize atomic.Int64
+)
+
+const inputEncMemoCap = 4096
+
+type inputEncKey struct {
+	input    *sparse.Dense
+	plan     *partition.Plan // nil for Serial (full-matrix staging)
+	compress bool
+}
+
+// encodedInput returns the staged payloads for one request input: a single
+// full-matrix payload for Serial, one payload per worker otherwise.
+func (d *Deployment) encodedInput(input *sparse.Dense, batch int) [][]byte {
+	key := inputEncKey{input: input, compress: d.Cfg.Compress}
+	if d.Cfg.Channel != Serial {
+		key.plan = d.Cfg.Plan
+	}
+	if v, ok := inputEncMemo.Load(key); ok {
+		return v.([][]byte)
+	}
+	var blobs [][]byte
+	if d.Cfg.Channel == Serial {
+		rs := wire.NewRowSetCap(batch, input.Rows)
+		for r := 0; r < input.Rows; r++ {
+			rs.Add(int32(r), input.Row(r))
+		}
+		p, err := wire.Encode(rs, d.Cfg.Compress)
+		if err != nil {
+			panic(fmt.Sprintf("core: encoding input: %v", err))
+		}
+		blobs = [][]byte{p}
+	} else {
+		plan := d.Cfg.Plan
+		blobs = make([][]byte, plan.Workers)
+		for worker := 0; worker < plan.Workers; worker++ {
+			rs := wire.NewRowSetCap(batch, len(plan.Rows[worker]))
+			for _, r := range plan.Rows[worker] {
+				rs.Add(r, input.Row(int(r)))
+			}
+			p, err := wire.Encode(rs, d.Cfg.Compress)
+			if err != nil {
+				panic(fmt.Sprintf("core: encoding input: %v", err))
+			}
+			blobs[worker] = p
+		}
+	}
+	if inputEncMemoSize.Load() < inputEncMemoCap {
+		if _, loaded := inputEncMemo.LoadOrStore(key, blobs); !loaded {
+			inputEncMemoSize.Add(1)
+		}
+	}
+	return blobs
+}
+
+// serialMemo caches the serial engine's numeric run result. A run's output
+// activations, per-layer MAC counts and encoded result payload are pure in
+// (model, input, compress); replay harnesses — benchmark iterations,
+// planner probes, experiment grids — drive identical runs repeatedly, and
+// the float kernel work was the last flat cost on the replay profile. The
+// simulated side is untouched: the handler charges the same per-layer
+// compute, element ops and allocation high-water whether the numbers come
+// from the memo or from a fresh layer loop. Cached outputs are shared and
+// must be treated as immutable, which result consumers (response slicing,
+// verification, experiment assertions) already do.
+var (
+	serialMemo     sync.Map // serialKey -> *serialResult
+	serialMemoSize atomic.Int64
+)
+
+const serialMemoCap = 4096
+
+type serialKey struct {
+	m        *model.Model
+	input    *sparse.Dense
+	compress bool
+}
+
+type serialResult struct {
+	output    *sparse.Dense
+	encoded   []byte
+	layerMACs []int64
+	layerOps  []int64
+}
+
+// serialCompute runs (or recalls) the serial layer loop for one input and
+// returns the output, the encoded result payload and per-layer op counts.
+func (d *Deployment) serialCompute(input *sparse.Dense) (*serialResult, error) {
+	key := serialKey{d.Cfg.Model, input, d.Cfg.Compress}
+	if v, ok := serialMemo.Load(key); ok {
+		return v.(*serialResult), nil
+	}
+	spec := d.Cfg.Model.Spec
+	x := input.Clone()
+	res := &serialResult{
+		layerMACs: make([]int64, 0, len(d.Cfg.Model.Layers)),
+		layerOps:  make([]int64, 0, len(d.Cfg.Model.Layers)),
+	}
+	for _, w := range d.Cfg.Model.Layers {
+		z, macs := sparse.Mul(w, x)
+		ops := sparse.ReLUBiasClamp(z, spec.Bias, spec.Clamp)
+		res.layerMACs = append(res.layerMACs, macs)
+		res.layerOps = append(res.layerOps, ops)
+		x = z
+	}
+	res.output = x
+	enc, err := wire.Encode(denseToRowSet(x), d.Cfg.Compress)
+	if err != nil {
+		return nil, err
+	}
+	res.encoded = enc
+	if serialMemoSize.Load() < serialMemoCap {
+		if _, loaded := serialMemo.LoadOrStore(key, res); !loaded {
+			serialMemoSize.Add(1)
+		}
+	}
+	return res, nil
+}
+
+// stagedBlock returns the decoded weight block for a staged model key,
+// avoiding a per-run DecodeCSR of bytes this process encoded itself. The
+// blob argument is the object just fetched (and metered) from the store; it
+// is only decoded on the fallback path.
+func (d *Deployment) stagedBlock(key string, blob []byte) (*sparse.CSR, error) {
+	if d.staged != nil {
+		if blk, ok := d.staged.blocks[key]; ok {
+			return blk, nil
+		}
+	}
+	return model.DecodeCSR(blob)
+}

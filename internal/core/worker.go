@@ -7,7 +7,6 @@ import (
 	"fsdinference/internal/cloud/faas"
 	"fsdinference/internal/cloud/kvstore"
 	"fsdinference/internal/collective"
-	"fsdinference/internal/model"
 	"fsdinference/internal/sim"
 	"fsdinference/internal/sparse"
 	"fsdinference/internal/wire"
@@ -219,13 +218,14 @@ func (w *worker) load() error {
 	w.weights = make([]*sparse.CSR, len(d.Cfg.Model.Layers))
 	perf := w.ctx.Perf()
 	for k := range d.Cfg.Model.Layers {
-		blob, err := d.store.Get(p, fmt.Sprintf("model/w%d/layer-%d.w", w.id, k))
+		key := fmt.Sprintf("model/w%d/layer-%d.w", w.id, k)
+		blob, err := d.store.Get(p, key)
 		if err != nil {
 			return fmt.Errorf("core: worker %d loading layer %d: %w", w.id, k, err)
 		}
 		w.metrics.StoreGets++
 		w.ctx.Serialize(int64(len(blob)))
-		blk, err := model.DecodeCSR(blob)
+		blk, err := d.stagedBlock(key, blob)
 		if err != nil {
 			return fmt.Errorf("core: worker %d decoding layer %d: %w", w.id, k, err)
 		}
@@ -462,7 +462,7 @@ func (w *worker) extractSendRows(k int) []targetRows {
 	outs := make([]targetRows, 0, len(entries))
 	batch := w.run.batch
 	for _, e := range entries {
-		rs := wire.NewRowSet(batch)
+		rs := wire.NewRowSetCap(batch, len(e.Rows))
 		for _, r := range e.Rows {
 			row := w.x[r]
 			if row == nil || allZero(row) {
@@ -492,7 +492,7 @@ func allZero(row []float32) bool {
 // P workers (Result.AllOutputs), fixing the root-only reduction.
 func (w *worker) reduce() error {
 	batch := w.run.batch
-	mine := wire.NewRowSet(batch)
+	mine := wire.NewRowSetCap(batch, len(w.localRows))
 	for _, r := range w.localRows {
 		if row := w.x[r]; row != nil {
 			mine.Add(r, row)
@@ -558,7 +558,7 @@ func (w *worker) storeResult(out *sparse.Dense) error {
 }
 
 func denseToRowSet(d *sparse.Dense) *wire.RowSet {
-	rs := wire.NewRowSet(d.Cols)
+	rs := wire.NewRowSetCap(d.Cols, d.Rows)
 	for r := 0; r < d.Rows; r++ {
 		if !d.RowIsZero(r) {
 			rs.Add(int32(r), d.Row(r))

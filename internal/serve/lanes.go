@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/cloud/usage"
+	"fsdinference/internal/workload"
+)
+
+// ReplayLanes shards a trace replay across independent replay lanes, each
+// advancing its own discrete-event kernel on its own virtual clock, and
+// merges the per-lane results into one Report at the end.
+//
+// The receiver acts as the routing registry only: queries are routed (by
+// opts.Route or the model-size default) against its endpoints, then every
+// lane rebuilds its share of the service — the same options the receiver
+// was built with, filtered to the lane's endpoints — on a fresh clone of
+// the receiver's environment configuration and replays its sub-trace
+// there. The receiver's own endpoints, meters and clock are untouched.
+//
+// Lane assignment keeps interacting endpoints together: endpoints are
+// grouped by model size (reroute siblings share a size, so a lane always
+// contains every endpoint a rerouted request could land on) and size
+// groups are dealt round-robin over the lanes in registration order.
+// Cross-lane interactions cannot arise — disjoint endpoint sets touch
+// disjoint buckets, functions, stores and limiters — which is exactly why
+// the merged report equals the single-lane replay of the same trace:
+// each query's timeline depends only on its own lane's endpoints, and the
+// merge recomputes the cross-lane latency distribution from the raw
+// per-request samples. Chaos traces are the exception (an unnamed chaos
+// event targets "the first live cluster", a service-wide notion), so they
+// fall back to a single lane.
+//
+// Float-accumulated metering (costs, GB-hours) is summed across lanes;
+// the totals can differ from the single-lane run's by floating-point
+// rounding in the last bits, since per-lane meters accumulate in a
+// different order than one shared meter. Everything counted in integers
+// or nanoseconds — queries, runs, starts, latencies, horizons — merges
+// exactly. Per-shard node-hour breakdowns are keyed by lane-local
+// deployment names and are summed on collision.
+func (s *Service) ReplayLanes(lanes int, trace []workload.Query, opts ReplayOptions) (*Report, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("serve: lanes must be positive, got %d", lanes)
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("serve: empty trace")
+	}
+	opts = opts.withDefaults()
+	items, err := s.routeTrace(trace, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Size groups in registration order of their first endpoint.
+	var sizes []int
+	seen := make(map[int]bool)
+	for _, ep := range s.eps {
+		if n := ep.m.Spec.Neurons; !seen[n] {
+			seen[n] = true
+			sizes = append(sizes, n)
+		}
+	}
+	if lanes > len(sizes) {
+		lanes = len(sizes)
+	}
+	if lanes == 1 || len(opts.Chaos) > 0 {
+		// One lane (or a chaos trace, which needs the whole service on one
+		// kernel): replay the full trace on a single fresh clone so the
+		// result is identical to a multi-lane run's semantics.
+		lane, err := s.cloneService(nil)
+		if err != nil {
+			return nil, err
+		}
+		rep, _, err := lane.replayRouted(func() ([]routedQuery, error) { return items, nil }, opts)
+		return rep, err
+	}
+
+	laneOfSize := make(map[int]int, len(sizes))
+	for i, n := range sizes {
+		laneOfSize[n] = i % lanes
+	}
+	laneEps := make([]map[string]bool, lanes)
+	for _, ep := range s.eps {
+		l := laneOfSize[ep.m.Spec.Neurons]
+		if laneEps[l] == nil {
+			laneEps[l] = make(map[string]bool)
+		}
+		laneEps[l][ep.name] = true
+	}
+	laneItems := make([][]routedQuery, lanes)
+	for _, it := range items {
+		l := laneOfSize[s.byName[it.name].m.Spec.Neurons]
+		laneItems[l] = append(laneItems[l], it)
+	}
+
+	// Phase 1, concurrent: every lane rebuilds its share of the service on
+	// a fresh environment and drives its sub-trace to completion on its
+	// own kernel. Lanes share no mutable state (separate kernels, meters,
+	// stores, functions), so this is safe under the race detector.
+	svcs := make([]*Service, lanes)
+	runs := make([]*replayRun, lanes)
+	errs := make([]error, lanes)
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		l := l
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			keep := laneEps[l]
+			svc, err := s.cloneService(func(name string) bool { return keep[name] })
+			if err != nil {
+				errs[l] = err
+				return
+			}
+			svcs[l] = svc
+			runs[l], errs[l] = svc.replayStart(
+				func() ([]routedQuery, error) { return laneItems[l], nil }, opts)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2, sequential: close every lane's window at the same global
+	// end — the latest virtual time any lane reached — so provisioned
+	// capacity accrues exactly as it would on one shared kernel, idle
+	// tails included. Per-lane virtual clocks merge deterministically:
+	// lane order is fixed by the size-group assignment.
+	var endAt time.Duration
+	for _, svc := range svcs {
+		if now := svc.Now(); now > endAt {
+			endAt = now
+		}
+	}
+	reps := make([]*Report, lanes)
+	lats := make([][]time.Duration, lanes)
+	for l := 0; l < lanes; l++ {
+		rep, all, err := svcs[l].replayFinish(runs[l], opts, endAt)
+		if err != nil {
+			return nil, err
+		}
+		reps[l], lats[l] = rep, all
+	}
+	return s.mergeLaneReports(reps, lats), nil
+}
+
+// cloneService rebuilds this service (optionally filtered to a subset of
+// endpoints) on a fresh environment cloned from the receiver's config.
+func (s *Service) cloneService(keep func(name string) bool) (*Service, error) {
+	return newService(env.New(s.env.Cfg), keep, s.opts...)
+}
+
+// mergeLaneReports folds per-lane reports into one, deterministically:
+// lane order is fixed by the lane assignment, endpoint order follows the
+// receiver's registration order, and the cross-lane latency distribution
+// is recomputed from the concatenated raw samples.
+func (s *Service) mergeLaneReports(reps []*Report, lats [][]time.Duration) *Report {
+	out := &Report{}
+	byName := make(map[string]EndpointReport)
+	var all []time.Duration
+	for l, rep := range reps {
+		out.Queries += rep.Queries
+		out.Failed += rep.Failed
+		out.Samples += rep.Samples
+		if rep.Horizon > out.Horizon {
+			out.Horizon = rep.Horizon
+		}
+		all = append(all, lats[l]...)
+		for _, er := range rep.Endpoints {
+			byName[er.Name] = er
+		}
+		addBreakdown(&out.TotalCost, rep.TotalCost)
+		out.KVGBHours += rep.KVGBHours
+		out.KVOps += rep.KVOps
+		out.KVReplicaHours += rep.KVReplicaHours
+		for shard, h := range rep.KVShardHours {
+			if out.KVShardHours == nil {
+				out.KVShardHours = make(map[string]float64)
+			}
+			out.KVShardHours[shard] += h
+		}
+		for shard, c := range rep.KVShardCost {
+			if out.KVShardCost == nil {
+				out.KVShardCost = make(map[string]float64)
+			}
+			out.KVShardCost[shard] += c
+		}
+		out.KVFailovers += rep.KVFailovers
+		out.KVLostValues += rep.KVLostValues
+		out.KVResends += rep.KVResends
+		out.KVMoved += rep.KVMoved
+		out.ColdStarts += rep.ColdStarts
+		out.WarmStarts += rep.WarmStarts
+		for k, v := range rep.Collectives {
+			if out.Collectives == nil {
+				out.Collectives = make(map[string]int64)
+			}
+			out.Collectives[k] += v
+		}
+		out.HybridSmallValues += rep.HybridSmallValues
+		out.HybridBulkValues += rep.HybridBulkValues
+		out.HybridBulkBytes += rep.HybridBulkBytes
+		out.HybridChunks += rep.HybridChunks
+		out.ChaosKills += rep.ChaosKills
+		out.ChaosPartitions += rep.ChaosPartitions
+		out.ChaosSkipped += rep.ChaosSkipped
+	}
+	out.Latency = latencyStats(all)
+	for _, ep := range s.eps {
+		if er, ok := byName[ep.name]; ok {
+			out.Endpoints = append(out.Endpoints, er)
+		}
+	}
+	return out
+}
+
+// addBreakdown accumulates src into dst field-wise.
+func addBreakdown(dst *usage.Breakdown, src usage.Breakdown) {
+	dst.Lambda += src.Lambda
+	dst.SNS += src.SNS
+	dst.SQS += src.SQS
+	dst.S3 += src.S3
+	dst.EC2 += src.EC2
+	dst.KV += src.KV
+	dst.KVReplica += src.KVReplica
+}

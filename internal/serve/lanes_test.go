@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"fsdinference/internal/cloud/env"
+	"fsdinference/internal/cloud/usage"
+	"fsdinference/internal/model"
+	"fsdinference/internal/workload"
+)
+
+func lanesTestService(t *testing.T) *Service {
+	t.Helper()
+	sizes := []int{64, 128, 256}
+	var opts []Option
+	names := []string{"s64", "s128", "s256"}
+	for i, n := range sizes {
+		m, err := model.Generate(model.GraphChallengeSpec(n, 3, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts = append(opts, WithEndpoint(names[i], m))
+	}
+	opts = append(opts, WithCoalescing(32, 150*time.Millisecond), WithReplicas(2))
+	svc, err := NewService(env.NewDefault(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestReplayLanesMatchesSingleLane is the lane-determinism contract: the
+// sharded replay's merged report must equal the single-lane replay of the
+// same trace — exactly for everything counted in integers or nanoseconds,
+// and within float rounding for the cross-lane-summed metered totals.
+// Run under -race this also exercises the per-lane kernels concurrently.
+func TestReplayLanesMatchesSingleLane(t *testing.T) {
+	trace := workload.Day(60*6, []int{64, 128, 256}, 6, 9)
+	opts := ReplayOptions{Seed: 17}
+
+	single, err := lanesTestService(t).Replay(trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := lanesTestService(t).ReplayLanes(2, trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if single.Failed != 0 || sharded.Failed != 0 {
+		t.Fatalf("failed queries: single %d, sharded %d", single.Failed, sharded.Failed)
+	}
+
+	// Exact equality on everything except the float-accumulated metered
+	// totals, which lanes sum in a different order than one shared meter.
+	a, b := *single, *sharded
+	a.TotalCost, b.TotalCost = usage.Breakdown{}, usage.Breakdown{}
+	a.KVGBHours, b.KVGBHours = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sharded report diverges from single-lane:\n--- single ---\n%s\n--- sharded ---\n%s",
+			single, sharded)
+	}
+	if !closeUSD(single.TotalCost.Total(), sharded.TotalCost.Total()) {
+		t.Errorf("total cost: single $%v, sharded $%v",
+			single.TotalCost.Total(), sharded.TotalCost.Total())
+	}
+	if math.Abs(single.KVGBHours-sharded.KVGBHours) > 1e-9 {
+		t.Errorf("KV GB-hours: single %v, sharded %v", single.KVGBHours, sharded.KVGBHours)
+	}
+}
+
+// TestReplayLanesMoreLanesThanSizes clamps the lane count to the number of
+// size groups and still matches the single-lane result.
+func TestReplayLanesMoreLanesThanSizes(t *testing.T) {
+	trace := workload.Day(30*6, []int{64, 128, 256}, 6, 3)
+	opts := ReplayOptions{Seed: 5}
+	single, err := lanesTestService(t).Replay(trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := lanesTestService(t).ReplayLanes(8, trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Queries != single.Queries || sharded.Samples != single.Samples ||
+		sharded.Latency != single.Latency || sharded.Horizon != single.Horizon {
+		t.Fatalf("clamped lanes diverge:\n--- single ---\n%s\n--- sharded ---\n%s", single, sharded)
+	}
+}
+
+// TestReplayLanesChaosFallsBack verifies a chaos trace replays on a single
+// lane (a fresh clone) and still reports the injections.
+func TestReplayLanesChaosFallsBack(t *testing.T) {
+	trace := workload.Day(10*6, []int{64, 128}, 6, 3)
+	svc := lanesTestService(t)
+	rep, err := svc.ReplayLanes(2, trace, ReplayOptions{
+		Seed:  5,
+		Chaos: []ChaosEvent{{At: time.Hour, Kind: KillNode, Endpoint: "s64", Shard: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial endpoints have no provisioned cluster, so the event is
+	// counted as skipped — the point is that it was processed at all.
+	if rep.ChaosKills+rep.ChaosSkipped != 1 {
+		t.Fatalf("chaos event not processed: %+v", rep)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d failed queries", rep.Failed)
+	}
+}
+
+func closeUSD(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}

@@ -66,11 +66,60 @@ type ReplayOptions struct {
 	// for the admission policy; nil submits every query with defaults.
 	Submit func(i int, q workload.Query) SubmitOptions
 	// Verify checks every request's output against serial float64
-	// reference inference; a mismatch fails the replay.
+	// reference inference; a mismatch fails the replay. Not supported by
+	// ReplayStream, which releases outputs as queries resolve.
 	Verify bool
 	// Chaos embeds fault-injection events in the trace's timeline; the
 	// report counts the injections and the failover fallout.
 	Chaos []ChaosEvent
+}
+
+func (opts ReplayOptions) withDefaults() ReplayOptions {
+	if opts.Density == 0 {
+		opts.Density = 0.2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return opts
+}
+
+// routedQuery pairs one trace query with its resolved endpoint and its
+// index in the original trace. The index — not the position in whatever
+// sub-slice a lane replays — seeds the query's input generation and is
+// echoed to the Submit callback, so a lane's share of a trace replays
+// exactly as it would inside the full single-lane replay.
+type routedQuery struct {
+	idx  int
+	q    workload.Query
+	name string
+}
+
+// routeTrace resolves every query's endpoint up front (default: route by
+// model size) against this service's registry.
+func (s *Service) routeTrace(trace []workload.Query, opts ReplayOptions) ([]routedQuery, error) {
+	route := opts.Route
+	if route == nil {
+		route = func(q workload.Query) (string, bool) {
+			eps := s.byNeuronsAll[q.Neurons]
+			if len(eps) == 0 {
+				return "", false
+			}
+			return eps[0].name, true
+		}
+	}
+	items := make([]routedQuery, len(trace))
+	for i, q := range trace {
+		name, ok := route(q)
+		if !ok {
+			return nil, fmt.Errorf("serve: no endpoint for query %d (N=%d)", i, q.Neurons)
+		}
+		if s.byName[name] == nil {
+			return nil, fmt.Errorf("serve: route returned unknown endpoint %q", name)
+		}
+		items[i] = routedQuery{idx: i, q: q, name: name}
+	}
+	return items, nil
 }
 
 // Replay drives a workload query trace through the service inside one
@@ -84,23 +133,43 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	if len(trace) == 0 {
 		return nil, fmt.Errorf("serve: empty trace")
 	}
-	if opts.Density == 0 {
-		opts.Density = 0.2
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	route := opts.Route
-	if route == nil {
-		route = func(q workload.Query) (string, bool) {
-			eps := s.byNeuronsAll[q.Neurons]
-			if len(eps) == 0 {
-				return "", false
-			}
-			return eps[0].name, true
-		}
-	}
+	opts = opts.withDefaults()
+	rep, _, err := s.replayRouted(func() ([]routedQuery, error) {
+		return s.routeTrace(trace, opts)
+	}, opts)
+	return rep, err
+}
 
+// replayRouted replays routed queries and, alongside the report, returns
+// the raw per-request latencies so a lane merge can recompute the exact
+// cross-lane distribution instead of approximating from summaries. The
+// route callback runs after the in-flight drain and window snapshot, so
+// routing-time side effects (tests arm chaos there) land inside the
+// measured window, exactly as they always have.
+func (s *Service) replayRouted(route func() ([]routedQuery, error), opts ReplayOptions) (*Report, []time.Duration, error) {
+	run, err := s.replayStart(route, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.replayFinish(run, opts, 0)
+}
+
+// replayRun is an in-flight replay between its drive phase (replayStart:
+// everything submitted and drained) and its reporting phase
+// (replayFinish). Replay lanes hold this between phases so every lane's
+// metering window can be closed at the same global end time.
+type replayRun struct {
+	win     *replayWindow
+	items   []routedQuery
+	handles []*Handle
+	eps     []*Endpoint
+	inputs  []*sparse.Dense
+	chaos   *chaosCounters
+}
+
+// replayStart drains in-flight work, opens the metering window, submits
+// the routed trace and drives the kernel until everything resolves.
+func (s *Service) replayStart(route func() ([]routedQuery, error), opts ReplayOptions) (*replayRun, error) {
 	// Drain any requests already in flight first, so the metered window
 	// below measures this trace and nothing else.
 	if err := s.Run(); err != nil {
@@ -108,91 +177,54 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 	}
 
 	base := s.Now()
-	// Close the provisioned-capacity accrual at the window edge, so the
-	// subtraction below charges exactly this replay's node-hours
-	// (including the hours its memory stores sit idle between queries).
-	s.env.KV.Settle()
-	meterSnap := s.env.Meter.Snapshot()
-	cold0, warm0 := s.env.FaaS.ColdStarts, s.env.FaaS.WarmStarts
-	statSnaps := make([]endpointStats, len(s.eps))
-	for i, ep := range s.eps {
-		// Close the replica-seconds accrual at the window edge so the
-		// subtraction below charges exactly this replay's pool time, and
-		// restart the workload observation window so the reported
-		// Observed profile describes this trace only.
-		ep.sched.accrue(base)
-		ep.sched.resetObservationWindow()
-		statSnaps[i] = ep.stats
-		// The high-water fields are marks, not counters: restart them so
-		// the report describes this replay's window.
-		ep.stats.MaxSamples = 0
-		ep.stats.MaxConcurrent = 0
-		ep.stats.PeakReplicas = len(ep.sched.pool)
+	win := s.openWindow(base)
+	items, err := route()
+	if err != nil {
+		return nil, err
 	}
 
-	handles := make([]*Handle, len(trace))
-	eps := make([]*Endpoint, len(trace))
-	inputs := make([]*sparse.Dense, len(trace))
-	for i, q := range trace {
-		name, ok := route(q)
-		if !ok {
-			return nil, fmt.Errorf("serve: no endpoint for query %d (N=%d)", i, q.Neurons)
-		}
-		ep := s.byName[name]
-		if ep == nil {
-			return nil, fmt.Errorf("serve: route returned unknown endpoint %q", name)
-		}
-		inputs[i] = model.GenerateInputs(q.Neurons, q.Samples, opts.Density, opts.Seed+int64(i))
-		eps[i] = ep
+	run := &replayRun{
+		win:     win,
+		items:   items,
+		handles: make([]*Handle, len(items)),
+		eps:     make([]*Endpoint, len(items)),
+		inputs:  make([]*sparse.Dense, len(items)),
+	}
+	for i, it := range items {
+		run.eps[i] = s.byName[it.name]
+		run.inputs[i] = model.GenerateInputsCached(it.q.Neurons, it.q.Samples, opts.Density, opts.Seed+int64(it.idx))
 		var so SubmitOptions
 		if opts.Submit != nil {
-			so = opts.Submit(i, q)
+			so = opts.Submit(it.idx, it.q)
 		}
-		handles[i] = s.SubmitWith(name, inputs[i], base+q.At, so)
+		run.handles[i] = s.SubmitWith(it.name, run.inputs[i], base+it.q.At, so)
 	}
 
-	// Chaos events ride the same trace-relative timeline as the queries.
-	var chaosKills, chaosPartitions, chaosSkipped int
-	for i, ev := range opts.Chaos {
-		if ev.Endpoint != "" && s.byName[ev.Endpoint] == nil {
-			return nil, fmt.Errorf("serve: chaos event %d targets unknown endpoint %q", i, ev.Endpoint)
-		}
-		ev := ev
-		s.env.K.At(base+ev.At, func() {
-			cl := s.chaosTarget(ev.Endpoint)
-			if cl == nil || ev.Shard < 0 || ev.Shard >= cl.Shards() {
-				chaosSkipped++
-				return
-			}
-			switch ev.Kind {
-			case Partition:
-				d := ev.Duration
-				if d <= 0 {
-					d = time.Second
-				}
-				if cl.Partition(ev.Shard, d) == nil {
-					chaosPartitions++
-				} else {
-					chaosSkipped++
-				}
-			default:
-				if cl.KillNode(ev.Shard) == nil {
-					chaosKills++
-				} else {
-					chaosSkipped++
-				}
-			}
-		})
+	run.chaos, err = s.scheduleChaos(base, opts.Chaos)
+	if err != nil {
+		return nil, err
 	}
 
 	if err := s.Run(); err != nil {
 		return nil, err
 	}
-	end := s.Now()
-	for _, ep := range s.eps {
-		ep.sched.accrue(end)
+	return run, nil
+}
+
+// replayFinish closes the metering window and aggregates the report. A
+// positive endAt first advances the kernel to that virtual time (with an
+// empty event), so a lane that finished early accrues provisioned
+// capacity to the same global end a shared-kernel run would have — idle
+// tails included.
+func (s *Service) replayFinish(run *replayRun, opts ReplayOptions, endAt time.Duration) (*Report, []time.Duration, error) {
+	if endAt > s.Now() {
+		s.env.K.At(endAt-s.Now(), func() {})
+		if err := s.Run(); err != nil {
+			return nil, nil, err
+		}
 	}
-	s.env.KV.Settle()
+	s.closeWindow(run.win)
+	win, items, handles, eps, inputs := run.win, run.items, run.handles, run.eps, run.inputs
 
 	rep := &Report{}
 	var all []time.Duration
@@ -206,7 +238,7 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 		epQueries[ep]++
 		rep.Queries++
 		if !h.done {
-			return nil, fmt.Errorf("serve: query %d did not resolve", i)
+			return nil, nil, fmt.Errorf("serve: query %d did not resolve", items[i].idx)
 		}
 		if h.err != nil {
 			rep.Failed++
@@ -222,112 +254,70 @@ func (s *Service) Replay(trace []workload.Query, opts ReplayOptions) (*Report, e
 			perPrio[ep] = make(map[int][]time.Duration)
 		}
 		perPrio[ep][h.priority] = append(perPrio[ep][h.priority], resp.Latency)
-		if h.finished-base > rep.Horizon {
-			rep.Horizon = h.finished - base
+		if h.finished-win.base > rep.Horizon {
+			rep.Horizon = h.finished - win.base
 		}
 		if opts.Verify {
 			want := model.Reference(ep.m, inputs[i])
 			if !model.OutputsClose(resp.Output, want, 1e-2) {
-				return nil, fmt.Errorf("serve: query %d output diverges from reference", i)
+				return nil, nil, fmt.Errorf("serve: query %d output diverges from reference", items[i].idx)
 			}
 		}
 	}
 	rep.Latency = latencyStats(all)
-	for i, ep := range s.eps {
-		st := ep.stats.sub(statSnaps[i])
-		// Re-plan events are reported trace-relative, like Horizon.
-		replans := make([]ReplanEvent, len(st.Replans))
-		for j, ev := range st.Replans {
-			ev.At -= base
-			replans[j] = ev
+	for _, ep := range s.eps {
+		rep.Endpoints = append(rep.Endpoints, s.endpointReport(ep, win,
+			epQueries[ep], epFailed[ep], epSamples[ep],
+			latencyStats(perEp[ep]), prioLatencies(perPrio[ep])))
+	}
+	s.meterReport(rep, win)
+	rep.ChaosKills = run.chaos.kills
+	rep.ChaosPartitions = run.chaos.partitions
+	rep.ChaosSkipped = run.chaos.skipped
+	return rep, all, nil
+}
+
+// chaosCounters tallies trace-embedded fault injections.
+type chaosCounters struct {
+	kills, partitions, skipped int
+}
+
+// scheduleChaos arms the chaos events on the kernel timeline relative to
+// base and returns the counters they will populate as they fire.
+func (s *Service) scheduleChaos(base time.Duration, events []ChaosEvent) (*chaosCounters, error) {
+	c := &chaosCounters{}
+	for i, ev := range events {
+		if ev.Endpoint != "" && s.byName[ev.Endpoint] == nil {
+			return nil, fmt.Errorf("serve: chaos event %d targets unknown endpoint %q", i, ev.Endpoint)
 		}
-		batch := 0
-		if st.Runs > 0 {
-			batch = st.RunSamples / st.Runs
-		}
-		er := EndpointReport{
-			Name:              ep.name,
-			Neurons:           ep.m.Spec.Neurons,
-			Channel:           ep.cfg.Channel,
-			Workers:           ep.cfg.Workers(),
-			Replicas:          len(ep.sched.pool),
-			PeakReplicas:      st.PeakReplicas,
-			Admission:         ep.sched.admission.Name(),
-			Scaling:           ep.sched.scaling.Name(),
-			ReplicaSeconds:    st.ReplicaSeconds,
-			ScaleUps:          st.ScaleUps,
-			ScaleDowns:        st.ScaleDowns,
-			Shed:              st.Shed,
-			Rerouted:          st.Rerouted,
-			DeadlineMissed:    st.DeadlineMissed,
-			Reselections:      st.Reselections,
-			Replans:           replans,
-			Observed:          ep.sched.observedProfile(batch),
-			MaxConcurrentRuns: st.MaxConcurrent,
-			Queries:           epQueries[ep],
-			Failed:            epFailed[ep],
-			Samples:           epSamples[ep],
-			Runs:              st.Runs,
-			FailedRuns:        st.FailedRuns,
-			MaxRunSamples:     st.MaxSamples,
-			ColdStarts:        st.ColdStarts,
-			WarmStarts:        st.WarmStarts,
-			Latency:           latencyStats(perEp[ep]),
-			Cost:              st.Cost,
-		}
-		if st.Runs > 0 {
-			er.AvgRunSamples = float64(st.RunSamples) / float64(st.Runs)
-			er.AvgRunRequests = float64(st.RunRequests) / float64(st.Runs)
-		}
-		if groups := perPrio[ep]; len(groups) > 1 {
-			prios := make([]int, 0, len(groups))
-			for p := range groups {
-				prios = append(prios, p)
+		ev := ev
+		s.env.K.At(base+ev.At, func() {
+			cl := s.chaosTarget(ev.Endpoint)
+			if cl == nil || ev.Shard < 0 || ev.Shard >= cl.Shards() {
+				c.skipped++
+				return
 			}
-			sort.Sort(sort.Reverse(sort.IntSlice(prios)))
-			for _, p := range prios {
-				er.PerPriority = append(er.PerPriority, PriorityLatency{
-					Priority: p,
-					Latency:  latencyStats(groups[p]),
-				})
+			switch ev.Kind {
+			case Partition:
+				d := ev.Duration
+				if d <= 0 {
+					d = time.Second
+				}
+				if cl.Partition(ev.Shard, d) == nil {
+					c.partitions++
+				} else {
+					c.skipped++
+				}
+			default:
+				if cl.KillNode(ev.Shard) == nil {
+					c.kills++
+				} else {
+					c.skipped++
+				}
 			}
-		}
-		rep.Endpoints = append(rep.Endpoints, er)
+		})
 	}
-	used := s.env.Meter.Sub(meterSnap)
-	rep.TotalCost = used.Cost(s.env.Pricing)
-	rep.KVGBHours = used.KVGBHours
-	rep.KVOps = used.KVOps
-	for _, h := range used.KVReplicaHours {
-		rep.KVReplicaHours += h
-	}
-	for shard, h := range used.KVShardHours {
-		if h <= 0 {
-			continue
-		}
-		if rep.KVShardHours == nil {
-			rep.KVShardHours = make(map[string]float64)
-		}
-		rep.KVShardHours[shard] = h
-	}
-	rep.KVShardCost = used.KVShardCost(s.env.Pricing)
-	rep.KVFailovers = used.KVFailovers
-	rep.KVLostValues = used.KVLostValues
-	rep.KVResends = used.KVResends
-	rep.KVMoved = used.KVMoved
-	rep.ColdStarts = s.env.FaaS.ColdStarts - cold0
-	rep.WarmStarts = s.env.FaaS.WarmStarts - warm0
-	if len(used.Collectives) > 0 {
-		rep.Collectives = used.Collectives
-	}
-	rep.HybridSmallValues = used.HybridSmallValues
-	rep.HybridBulkValues = used.HybridBulkValues
-	rep.HybridBulkBytes = used.HybridBulkBytes
-	rep.HybridChunks = used.HybridChunks
-	rep.ChaosKills = chaosKills
-	rep.ChaosPartitions = chaosPartitions
-	rep.ChaosSkipped = chaosSkipped
-	return rep, nil
+	return c, nil
 }
 
 // chaosTarget resolves a chaos event's target cluster at fire time: the
@@ -350,4 +340,23 @@ func (s *Service) chaosTarget(name string) *kvcluster.Cluster {
 		}
 	}
 	return nil
+}
+
+// prioLatencies collapses a per-priority latency map into the report's
+// ordered breakdown (highest priority first); nil unless more than one
+// class was submitted.
+func prioLatencies(groups map[int][]time.Duration) []PriorityLatency {
+	if len(groups) <= 1 {
+		return nil
+	}
+	prios := make([]int, 0, len(groups))
+	for p := range groups {
+		prios = append(prios, p)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+	out := make([]PriorityLatency, 0, len(prios))
+	for _, p := range prios {
+		out = append(out, PriorityLatency{Priority: p, Latency: latencyStats(groups[p])})
+	}
+	return out
 }

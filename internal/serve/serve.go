@@ -22,6 +22,9 @@ package serve
 import (
 	"fmt"
 	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fsdinference/internal/cloud/env"
@@ -210,7 +213,10 @@ func WithDeployOverride(mutate func(*core.Config)) EndpointOption {
 // requests to different endpoints — and queued requests to the same
 // endpoint — progress concurrently in virtual time.
 type Service struct {
-	env    *env.Env
+	env *env.Env
+	// opts retains the applied options so replay lanes can rebuild
+	// filtered clones of the service on fresh environments (lanes.go).
+	opts   []Option
 	eps    []*Endpoint
 	byName map[string]*Endpoint
 	// byNeuronsAll maps model size to its endpoints in registration
@@ -335,6 +341,14 @@ func (s endpointStats) sub(prev endpointStats) endpointStats {
 // NewService validates the options, builds partition plans and deploys
 // every endpoint's replica pool onto the shared environment.
 func NewService(e *env.Env, opts ...Option) (*Service, error) {
+	return newService(e, nil, opts...)
+}
+
+// newService is NewService with an optional endpoint filter: when keep is
+// non-nil, endpoints it rejects are dropped before deployment. Replay lanes
+// use this to rebuild a subset of the service on a fresh environment
+// without paying for (or metering) the endpoints the lane does not serve.
+func newService(e *env.Env, keep func(name string) bool, opts ...Option) (*Service, error) {
 	cfg := &serviceConfig{
 		policy:   coalescePolicy{maxBatch: 512},
 		replicas: 1,
@@ -345,6 +359,15 @@ func NewService(e *env.Env, opts ...Option) (*Service, error) {
 	}
 	if cfg.err != nil {
 		return nil, cfg.err
+	}
+	if keep != nil {
+		kept := cfg.eps[:0]
+		for _, ec := range cfg.eps {
+			if keep(ec.name) {
+				kept = append(kept, ec)
+			}
+		}
+		cfg.eps = kept
 	}
 	if len(cfg.eps) == 0 {
 		return nil, fmt.Errorf("serve: a service needs at least one endpoint")
@@ -357,6 +380,7 @@ func NewService(e *env.Env, opts ...Option) (*Service, error) {
 	}
 	s := &Service{
 		env:          e,
+		opts:         opts,
 		byName:       make(map[string]*Endpoint),
 		byNeuronsAll: make(map[int][]*Endpoint),
 		pending:      make(map[*Handle]struct{}),
@@ -634,7 +658,15 @@ func (s *Service) Submit(name string, input *sparse.Dense, at time.Duration) *Ha
 // SubmitWith is Submit with per-request scheduling metadata: a priority
 // class and/or a completion deadline for the admission policy.
 func (s *Service) SubmitWith(name string, input *sparse.Dense, at time.Duration, opts SubmitOptions) *Handle {
-	h := &Handle{svc: s, endpoint: name, priority: opts.Priority}
+	return s.submit(name, input, at, opts, nil)
+}
+
+// submit is the common submission path. notify, when non-nil, is installed
+// on the handle before any validation can fail it, so streaming replays
+// observe every resolution — including synchronous rejects — through one
+// hook and never need to retain the handle themselves.
+func (s *Service) submit(name string, input *sparse.Dense, at time.Duration, opts SubmitOptions, notify func(*Handle)) *Handle {
+	h := &Handle{svc: s, endpoint: name, priority: opts.Priority, notify: notify}
 	s.pending[h] = struct{}{}
 	ep := s.byName[name]
 	if ep == nil {
@@ -689,11 +721,35 @@ func (s *Service) Run() error {
 	return nil
 }
 
+// mergeMemo caches merged coalescing batches by the identity of their
+// member inputs. Replays and planner probes drive identical traces through
+// the scheduler repeatedly, producing the same coalesced batches from the
+// same (memoised) query inputs; returning the previous merged matrix keeps
+// batch assembly — and, downstream, the input staging encode keyed off its
+// pointer — off the replay hot path. Bounded like the input memo; merged
+// batches are read-only in the engine (handlers copy into local activation
+// buffers), so sharing one matrix across runs and lanes is safe.
+var (
+	mergeMemo     sync.Map // string key -> *sparse.Dense
+	mergeMemoSize atomic.Int64
+)
+
+const mergeMemoCap = 4096
+
 // mergeInputs concatenates the batch's activation matrices column-wise
 // into one engine input, in admission order.
 func mergeInputs(neurons int, b *batch) *sparse.Dense {
 	if len(b.reqs) == 1 {
 		return b.reqs[0].input
+	}
+	var kb strings.Builder
+	fmt.Fprintf(&kb, "%d", neurons)
+	for _, r := range b.reqs {
+		fmt.Fprintf(&kb, "|%p", r.input)
+	}
+	key := kb.String()
+	if v, ok := mergeMemo.Load(key); ok {
+		return v.(*sparse.Dense)
 	}
 	out := sparse.NewDense(neurons, b.samples)
 	off := 0
@@ -702,6 +758,11 @@ func mergeInputs(neurons int, b *batch) *sparse.Dense {
 			copy(out.Row(row)[off:off+r.input.Cols], r.input.Row(row))
 		}
 		off += r.input.Cols
+	}
+	if mergeMemoSize.Load() < mergeMemoCap {
+		if _, loaded := mergeMemo.LoadOrStore(key, out); !loaded {
+			mergeMemoSize.Add(1)
+		}
 	}
 	return out
 }
@@ -727,6 +788,10 @@ type Handle struct {
 	resp     *Response
 	err      error
 	finished time.Duration
+	// notify, when set, observes the handle's resolution (success or
+	// failure) exactly once. Streaming replays account and release handles
+	// through it instead of holding them all until the run drains.
+	notify func(*Handle)
 }
 
 // Response is one request's resolved result.
@@ -780,6 +845,9 @@ func (h *Handle) complete(now time.Duration, resp *Response) {
 	h.resp = resp
 	h.finished = now
 	delete(h.svc.pending, h)
+	if h.notify != nil {
+		h.notify(h)
+	}
 }
 
 func (h *Handle) fail(now time.Duration, err error) {
@@ -790,4 +858,7 @@ func (h *Handle) fail(now time.Duration, err error) {
 	h.err = err
 	h.finished = now
 	delete(h.svc.pending, h)
+	if h.notify != nil {
+		h.notify(h)
+	}
 }

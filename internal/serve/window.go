@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"time"
+
+	"fsdinference/internal/cloud/usage"
+)
+
+// replayWindow captures the metering state at a replay's start so the
+// report charges exactly the replay's own window: the meter snapshot and
+// platform start counters to subtract, and per-endpoint stat snapshots
+// with the high-water marks restarted.
+type replayWindow struct {
+	base         time.Duration
+	meterSnap    usage.Meter
+	cold0, warm0 int
+	statSnaps    []endpointStats
+}
+
+// openWindow closes the provisioned-capacity accruals at the window edge
+// and snapshots every counter the report will subtract, so the report
+// measures this replay and nothing else.
+func (s *Service) openWindow(base time.Duration) *replayWindow {
+	// Close the provisioned-capacity accrual at the window edge, so the
+	// subtraction below charges exactly this replay's node-hours
+	// (including the hours its memory stores sit idle between queries).
+	s.env.KV.Settle()
+	win := &replayWindow{
+		base:      base,
+		meterSnap: s.env.Meter.Snapshot(),
+		cold0:     s.env.FaaS.ColdStarts,
+		warm0:     s.env.FaaS.WarmStarts,
+		statSnaps: make([]endpointStats, len(s.eps)),
+	}
+	for i, ep := range s.eps {
+		// Close the replica-seconds accrual at the window edge so the
+		// subtraction below charges exactly this replay's pool time, and
+		// restart the workload observation window so the reported
+		// Observed profile describes this trace only.
+		ep.sched.accrue(base)
+		ep.sched.resetObservationWindow()
+		win.statSnaps[i] = ep.stats
+		// The high-water fields are marks, not counters: restart them so
+		// the report describes this replay's window.
+		ep.stats.MaxSamples = 0
+		ep.stats.MaxConcurrent = 0
+		ep.stats.PeakReplicas = len(ep.sched.pool)
+	}
+	return win
+}
+
+// closeWindow settles the accruals at the window's far edge.
+func (s *Service) closeWindow(win *replayWindow) {
+	end := s.Now()
+	for _, ep := range s.eps {
+		ep.sched.accrue(end)
+	}
+	s.env.KV.Settle()
+}
+
+// endpointReport assembles one endpoint's report over the window from its
+// stat delta and the request-level aggregates the caller accumulated.
+func (s *Service) endpointReport(ep *Endpoint, win *replayWindow,
+	queries, failed, samples int, lat LatencyStats, perPrio []PriorityLatency) EndpointReport {
+	var snap endpointStats
+	for i, e := range s.eps {
+		if e == ep {
+			snap = win.statSnaps[i]
+			break
+		}
+	}
+	st := ep.stats.sub(snap)
+	// Re-plan events are reported trace-relative, like Horizon.
+	replans := make([]ReplanEvent, len(st.Replans))
+	for j, ev := range st.Replans {
+		ev.At -= win.base
+		replans[j] = ev
+	}
+	batch := 0
+	if st.Runs > 0 {
+		batch = st.RunSamples / st.Runs
+	}
+	er := EndpointReport{
+		Name:              ep.name,
+		Neurons:           ep.m.Spec.Neurons,
+		Channel:           ep.cfg.Channel,
+		Workers:           ep.cfg.Workers(),
+		Replicas:          len(ep.sched.pool),
+		PeakReplicas:      st.PeakReplicas,
+		Admission:         ep.sched.admission.Name(),
+		Scaling:           ep.sched.scaling.Name(),
+		ReplicaSeconds:    st.ReplicaSeconds,
+		ScaleUps:          st.ScaleUps,
+		ScaleDowns:        st.ScaleDowns,
+		Shed:              st.Shed,
+		Rerouted:          st.Rerouted,
+		DeadlineMissed:    st.DeadlineMissed,
+		Reselections:      st.Reselections,
+		Replans:           replans,
+		Observed:          ep.sched.observedProfile(batch),
+		MaxConcurrentRuns: st.MaxConcurrent,
+		Queries:           queries,
+		Failed:            failed,
+		Samples:           samples,
+		Runs:              st.Runs,
+		FailedRuns:        st.FailedRuns,
+		MaxRunSamples:     st.MaxSamples,
+		ColdStarts:        st.ColdStarts,
+		WarmStarts:        st.WarmStarts,
+		Latency:           lat,
+		Cost:              st.Cost,
+		PerPriority:       perPrio,
+	}
+	if st.Runs > 0 {
+		er.AvgRunSamples = float64(st.RunSamples) / float64(st.Runs)
+		er.AvgRunRequests = float64(st.RunRequests) / float64(st.Runs)
+	}
+	return er
+}
+
+// meterReport fills the report's environment-wide metering fields from the
+// window delta.
+func (s *Service) meterReport(rep *Report, win *replayWindow) {
+	used := s.env.Meter.Sub(win.meterSnap)
+	rep.TotalCost = used.Cost(s.env.Pricing)
+	rep.KVGBHours = used.KVGBHours
+	rep.KVOps = used.KVOps
+	for _, h := range used.KVReplicaHours {
+		rep.KVReplicaHours += h
+	}
+	for shard, h := range used.KVShardHours {
+		if h <= 0 {
+			continue
+		}
+		if rep.KVShardHours == nil {
+			rep.KVShardHours = make(map[string]float64)
+		}
+		rep.KVShardHours[shard] = h
+	}
+	rep.KVShardCost = used.KVShardCost(s.env.Pricing)
+	rep.KVFailovers = used.KVFailovers
+	rep.KVLostValues = used.KVLostValues
+	rep.KVResends = used.KVResends
+	rep.KVMoved = used.KVMoved
+	rep.ColdStarts = s.env.FaaS.ColdStarts - win.cold0
+	rep.WarmStarts = s.env.FaaS.WarmStarts - win.warm0
+	if len(used.Collectives) > 0 {
+		rep.Collectives = used.Collectives
+	}
+	rep.HybridSmallValues = used.HybridSmallValues
+	rep.HybridBulkValues = used.HybridBulkValues
+	rep.HybridBulkBytes = used.HybridBulkBytes
+	rep.HybridChunks = used.HybridChunks
+}

@@ -14,11 +14,37 @@
 // built from: timed sleeps, spawning, condition variables with timeouts
 // (virtual-time analogues of sync.Cond), wait groups, and token-bucket rate
 // limiters for provider API quotas.
+//
+// # Scheduling discipline and determinism invariants
+//
+// The event loop is built for raw throughput at million-query replay scale
+// while preserving bit-for-bit determinism:
+//
+//   - Global order. Every event carries (at, seq) where seq is a strictly
+//     increasing schedule counter; events execute in (at, seq) order, so
+//     simultaneous events run FIFO in schedule order. This total order is
+//     the determinism contract: two runs that schedule the same events in
+//     the same order produce identical virtual timelines.
+//   - Immediate ring. Events scheduled at the current instant (Yield,
+//     At(0, fn), Broadcast wakeups, Kill) dominate the serving hot path, so
+//     they bypass the time-ordered heap into a FIFO ring. The ring never
+//     holds events from more than one instant: the clock only advances by
+//     popping a strictly-future heap event, which the pop rule forbids while
+//     a ring event (which always precedes it in (at, seq) order) is pending.
+//   - Zero-alloc steady state. Event structs are recycled through a
+//     kernel-local free list and finished Procs return their resume
+//     channels to a pool, so schedule/wake cycles allocate nothing once the
+//     pools are warm. Stale events (cancelled timers, superseded timeout
+//     wakeups) are dropped without advancing the clock.
+//   - Blocked-Proc bookkeeping is intrusive: the kernel tracks live Procs
+//     in an index-linked slice and each Proc records where it is blocked;
+//     human-readable deadlock reports are reconstructed only on the error
+//     path instead of maintaining a map on every park/unpark.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -53,32 +79,37 @@ type event struct {
 	reason WakeReason
 	fn     func()
 	timer  *Timer // if set and stopped, the event is dead
+
+	next *event // free-list link
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a precedes b in the global (at, seq) event order.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() *event  { return h[0] }
 
 // Kernel is a discrete-event simulator instance. Create one with New, spawn
 // root processes with Go, then call Run.
 type Kernel struct {
 	now  time.Duration
-	eq   eventHeap
+	eq   []*event // time-ordered binary min-heap on (at, seq)
 	seq  uint64
 	step chan stepMsg
 
-	live    int // procs spawned and not yet finished
-	blocked map[*Proc]string
+	// imm is the FIFO ring of events scheduled at the current instant; see
+	// the package comment's scheduling discipline. immHead indexes the next
+	// pending ring event.
+	imm     []*event
+	immHead int
+
+	free     *event // event free list
+	chanPool []chan WakeReason
+
+	live  int     // procs spawned and not yet finished
+	procs []*Proc // live procs, index-linked via Proc.idx
 
 	maxEvents uint64
 	events    uint64
@@ -96,7 +127,6 @@ type stepMsg struct {
 func New() *Kernel {
 	return &Kernel{
 		step:      make(chan stepMsg),
-		blocked:   make(map[*Proc]string),
 		maxEvents: 1 << 62,
 	}
 }
@@ -109,10 +139,101 @@ func (k *Kernel) SetEventLimit(n uint64) { k.maxEvents = n }
 // or, between Run calls, from the host.
 func (k *Kernel) Now() time.Duration { return k.now }
 
+// getEvent pops the free list or allocates.
+func (k *Kernel) getEvent() *event {
+	if e := k.free; e != nil {
+		k.free = e.next
+		*e = event{}
+		return e
+	}
+	return &event{}
+}
+
+// putEvent recycles a processed (or dropped) event.
+func (k *Kernel) putEvent(e *event) {
+	e.proc = nil
+	e.fn = nil
+	e.timer = nil
+	e.next = k.free
+	k.free = e
+}
+
 func (k *Kernel) schedule(e *event) {
 	k.seq++
 	e.seq = k.seq
-	heap.Push(&k.eq, e)
+	if e.at <= k.now {
+		// Immediate event: FIFO ring, no heap traffic. schedule is only
+		// ever called with at >= now, so this is the at == now case.
+		k.imm = append(k.imm, e)
+		return
+	}
+	k.heapPush(e)
+}
+
+func (k *Kernel) heapPush(e *event) {
+	k.eq = append(k.eq, e)
+	i := len(k.eq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.before(k.eq[parent]) {
+			break
+		}
+		k.eq[i] = k.eq[parent]
+		i = parent
+	}
+	k.eq[i] = e
+}
+
+func (k *Kernel) heapPop() *event {
+	h := k.eq
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	k.eq = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if r := child + 1; r < n && k.eq[r].before(k.eq[child]) {
+				child = r
+			}
+			if !k.eq[child].before(last) {
+				break
+			}
+			k.eq[i] = k.eq[child]
+			i = child
+		}
+		k.eq[i] = last
+	}
+	return top
+}
+
+// pending reports whether any event remains.
+func (k *Kernel) pending() bool {
+	return k.immHead < len(k.imm) || len(k.eq) > 0
+}
+
+// nextEvent pops the globally next event in (at, seq) order, merging the
+// immediate ring with the heap.
+func (k *Kernel) nextEvent() *event {
+	if k.immHead < len(k.imm) {
+		ie := k.imm[k.immHead]
+		if len(k.eq) > 0 && k.eq[0].before(ie) {
+			return k.heapPop()
+		}
+		k.imm[k.immHead] = nil
+		k.immHead++
+		if k.immHead == len(k.imm) {
+			k.imm = k.imm[:0]
+			k.immHead = 0
+		}
+		return ie
+	}
+	return k.heapPop()
 }
 
 // At schedules fn to run in kernel context at the current virtual time plus
@@ -121,7 +242,9 @@ func (k *Kernel) At(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	k.schedule(&event{at: k.now + d, kind: evCall, fn: fn})
+	e := k.getEvent()
+	e.at, e.kind, e.fn = k.now+d, evCall, fn
+	k.schedule(e)
 }
 
 // Timer is a cancellable scheduled closure created by After.
@@ -142,7 +265,9 @@ func (k *Kernel) After(d time.Duration, fn func()) *Timer {
 		d = 0
 	}
 	t := &Timer{}
-	k.schedule(&event{at: k.now + d, kind: evCall, fn: fn, timer: t})
+	e := k.getEvent()
+	e.at, e.kind, e.fn, e.timer = k.now+d, evCall, fn, t
+	k.schedule(e)
 	return t
 }
 
@@ -157,29 +282,60 @@ func (k *Kernel) GoAfter(d time.Duration, name string, fn func(p *Proc)) *Proc {
 	if d < 0 {
 		d = 0
 	}
-	p := &Proc{k: k, name: name, resume: make(chan WakeReason), fn: fn}
+	var resume chan WakeReason
+	if n := len(k.chanPool); n > 0 {
+		resume = k.chanPool[n-1]
+		k.chanPool[n-1] = nil
+		k.chanPool = k.chanPool[:n-1]
+	} else {
+		resume = make(chan WakeReason)
+	}
+	p := &Proc{k: k, name: name, resume: resume, fn: fn}
 	k.live++
-	k.schedule(&event{at: k.now + d, kind: evStart, proc: p})
+	p.idx = len(k.procs)
+	k.procs = append(k.procs, p)
+	e := k.getEvent()
+	e.at, e.kind, e.proc = k.now+d, evStart, p
+	k.schedule(e)
 	return p
+}
+
+// finishProc removes a finished Proc from the live registry and recycles
+// its resume channel.
+func (k *Kernel) finishProc(p *Proc) {
+	k.live--
+	last := len(k.procs) - 1
+	if p.idx <= last {
+		k.procs[p.idx] = k.procs[last]
+		k.procs[p.idx].idx = p.idx
+		k.procs[last] = nil
+		k.procs = k.procs[:last]
+	}
+	if p.resume != nil {
+		k.chanPool = append(k.chanPool, p.resume)
+		p.resume = nil
+	}
 }
 
 // Run processes events until none remain, then returns. It returns an error
 // if any Proc panicked, if Procs remain blocked with no pending events
 // (simulation deadlock), or if the event limit was exceeded.
 func (k *Kernel) Run() error {
-	for len(k.eq) > 0 {
+	for k.pending() {
 		k.events++
 		if k.events > k.maxEvents {
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", k.maxEvents, k.now)
 		}
-		e := heap.Pop(&k.eq).(*event)
+		e := k.nextEvent()
 		// Drop dead events without advancing the clock: cancelled
 		// timers and stale wakeups (e.g. a timeout superseded by a
 		// signal) must not drag virtual time forward.
 		if e.timer != nil && e.timer.stopped {
+			k.putEvent(e)
 			continue
 		}
 		if e.kind == evResume && (e.proc.finished || e.token != e.proc.wake) {
+			k.putEvent(e)
 			continue
 		}
 		if e.at > k.now {
@@ -187,22 +343,31 @@ func (k *Kernel) Run() error {
 		}
 		switch e.kind {
 		case evCall:
-			e.fn()
+			fn := e.fn
+			k.putEvent(e)
+			fn()
 		case evStart:
 			p := e.proc
+			k.putEvent(e)
 			go p.run()
-			k.wait(p)
+			k.wait()
 		case evResume:
 			p := e.proc
+			reason := e.reason
+			k.putEvent(e)
 			p.wake++
-			p.resume <- e.reason
-			k.wait(p)
+			p.resume <- reason
+			k.wait()
 		}
 	}
 	if k.live > 0 {
-		names := make([]string, 0, len(k.blocked))
-		for p, where := range k.blocked {
-			names = append(names, p.name+" ("+where+")")
+		// Error path only: reconstruct the human-readable blocked set from
+		// the intrusive registry.
+		names := make([]string, 0, len(k.procs))
+		for _, p := range k.procs {
+			if p.where != "" {
+				names = append(names, p.name+" ("+p.where+")")
+			}
 		}
 		sort.Strings(names)
 		return fmt.Errorf("sim: deadlock at t=%v: %d proc(s) blocked forever: %v", k.now, k.live, names)
@@ -214,11 +379,10 @@ func (k *Kernel) Run() error {
 }
 
 // wait blocks until the currently running Proc yields or finishes.
-func (k *Kernel) wait(p *Proc) {
+func (k *Kernel) wait() {
 	msg := <-k.step
 	if msg.done {
-		k.live--
-		delete(k.blocked, msg.p)
+		k.finishProc(msg.p)
 		if msg.err != nil {
 			k.failures = append(k.failures, msg.err)
 		}
@@ -236,10 +400,11 @@ type Proc struct {
 	fn     func(*Proc)
 	resume chan WakeReason
 	wake   uint64
+	idx    int // position in the kernel's live-proc registry
 	killed bool
 
 	finished bool
-	where    string
+	where    string // non-empty while parked; deadlock reporting only
 }
 
 // Name returns the Proc's name, used in deadlock and failure reports.
@@ -273,15 +438,22 @@ var errKilled = fmt.Errorf("sim: proc killed")
 // pause hands control back to the kernel and blocks until resumed.
 func (p *Proc) pause(where string) WakeReason {
 	p.where = where
-	p.k.blocked[p] = where
 	p.k.step <- stepMsg{}
 	r := <-p.resume
-	delete(p.k.blocked, p)
+	p.where = ""
 	if r == WakeKill {
 		p.killed = true
 		panic(errKilled)
 	}
 	return r
+}
+
+// scheduleResume schedules a wakeup for p at time at, tagged with p's
+// current wake token.
+func (k *Kernel) scheduleResume(p *Proc, at time.Duration, reason WakeReason) {
+	e := k.getEvent()
+	e.at, e.kind, e.proc, e.token, e.reason = at, evResume, p, p.wake, reason
+	k.schedule(e)
 }
 
 // Sleep advances the Proc's virtual time by d. Negative durations count as
@@ -291,7 +463,7 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	p.wake++
-	p.k.schedule(&event{at: p.k.now + d, kind: evResume, proc: p, token: p.wake, reason: WakeTimer})
+	p.k.scheduleResume(p, p.k.now+d, WakeTimer)
 	p.pause("sleep")
 }
 
@@ -312,7 +484,7 @@ func (k *Kernel) Kill(target *Proc) {
 		return
 	}
 	target.wake++
-	k.schedule(&event{at: k.now, kind: evResume, proc: target, token: target.wake, reason: WakeKill})
+	k.scheduleResume(target, k.now, WakeKill)
 }
 
 // Killed reports whether this Proc has been killed and is unwinding. Cleanup
@@ -356,7 +528,7 @@ func (c *Cond) WaitTimeout(p *Proc, d time.Duration) WakeReason {
 	p.wake++
 	token := p.wake
 	c.waiters = append(c.waiters, condWaiter{p, token})
-	c.k.schedule(&event{at: c.k.now + d, kind: evResume, proc: p, token: token, reason: WakeTimer})
+	c.k.scheduleResume(p, c.k.now+d, WakeTimer)
 	return p.pause("cond-wait-timeout")
 }
 
@@ -367,7 +539,9 @@ func (c *Cond) Broadcast() {
 		if w.p.finished || w.token != w.p.wake {
 			continue
 		}
-		c.k.schedule(&event{at: c.k.now, kind: evResume, proc: w.p, token: w.token, reason: WakeSignal})
+		e := c.k.getEvent()
+		e.at, e.kind, e.proc, e.token, e.reason = c.k.now, evResume, w.p, w.token, WakeSignal
+		c.k.schedule(e)
 	}
 	c.waiters = c.waiters[:0]
 }
@@ -420,6 +594,14 @@ func NewLimiter(k *Kernel, rate, burst float64) *Limiter {
 }
 
 // Take consumes n tokens, sleeping p until they are available.
+//
+// Accounting is double-entry and has been verified under bursty concurrent
+// takers (see TestLimiterConcurrentBurst): the deficit is subtracted from
+// the shared balance immediately, so later takers queue behind it (their
+// own deficit includes every earlier taker's), and the post-sleep fill
+// credits the refill window exactly once — the refill cancels the
+// pre-subtracted deficit rather than minting extra tokens, which keeps the
+// sustained throughput at exactly rate tokens/second.
 func (l *Limiter) Take(p *Proc, n float64) {
 	if l.rate <= 0 {
 		return
@@ -430,7 +612,10 @@ func (l *Limiter) Take(p *Proc, n float64) {
 		return
 	}
 	deficit := -l.tokens
-	wait := time.Duration(deficit / l.rate * float64(time.Second))
+	// Round the wait up to the enclosing nanosecond: truncation would wake
+	// the taker marginally before its tokens have accrued, silently
+	// over-admitting under sustained load.
+	wait := time.Duration(math.Ceil(deficit / l.rate * float64(time.Second)))
 	p.Sleep(wait)
 	l.fill()
 }

@@ -223,8 +223,9 @@ func MulGatherInto(w *CSR, lookup RowLookup, z *Dense) int64 {
 				continue
 			}
 			v := vals[i]
+			zr := zrow[:len(xrow)]
 			for j, xv := range xrow {
-				zrow[j] += v * xv
+				zr[j] += v * xv
 			}
 			macs += int64(len(xrow))
 		}
@@ -246,6 +247,8 @@ func Mul(w *CSR, x *Dense) (*Dense, int64) {
 	}
 	z := NewDense(w.Rows, x.Cols)
 	var macs int64
+	nc := x.Cols
+	xd := x.Data
 	for r := 0; r < w.Rows; r++ {
 		cols, vals := w.Row(r)
 		zrow := z.Row(r)
@@ -254,11 +257,15 @@ func Mul(w *CSR, x *Dense) (*Dense, int64) {
 				continue
 			}
 			v := vals[i]
-			xrow := x.Row(int(c))
+			xrow := xd[int(c)*nc : int(c)*nc+nc]
+			// Reslice so the compiler can prove zr and xrow share a
+			// length and drop the per-element bounds checks; the
+			// accumulation order per output element is unchanged.
+			zr := zrow[:len(xrow)]
 			for j, xv := range xrow {
-				zrow[j] += v * xv
+				zr[j] += v * xv
 			}
-			macs += int64(x.Cols)
+			macs += int64(nc)
 		}
 	}
 	return z, macs
@@ -268,12 +275,22 @@ func Mul(w *CSR, x *Dense) (*Dense, int64) {
 // place (the Graph Challenge activation: bias, ReLU, threshold at 32). A
 // clamp of 0 or below disables clamping. Returns the element-op count.
 func ReLUBiasClamp(d *Dense, bias, clamp float32) int64 {
+	if clamp > 0 {
+		for i, v := range d.Data {
+			v += bias
+			if v < 0 {
+				v = 0
+			} else if v > clamp {
+				v = clamp
+			}
+			d.Data[i] = v
+		}
+		return int64(len(d.Data))
+	}
 	for i, v := range d.Data {
 		v += bias
 		if v < 0 {
 			v = 0
-		} else if clamp > 0 && v > clamp {
-			v = clamp
 		}
 		d.Data[i] = v
 	}

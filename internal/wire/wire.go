@@ -17,6 +17,19 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
+)
+
+// Encode/Decode sit on the serving replay hot path (every query stages an
+// input payload and every run emits a result payload), and a cold
+// zlib.Writer allocates ~380 KB of deflate state per call. The pools below
+// recycle compressor and decompressor state across calls; Reset fully
+// reinitialises the deflate stream, so pooled and fresh writers produce
+// byte-identical output and simulated payload sizes are unaffected.
+var (
+	zlibWriters = sync.Pool{New: func() any { return zlib.NewWriter(io.Discard) }}
+	zlibReaders sync.Pool // holds io.ReadCloser values implementing zlib.Resetter
+	bodyBufs    = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 )
 
 const (
@@ -36,6 +49,18 @@ type RowSet struct {
 // NewRowSet returns an empty RowSet for the given batch width.
 func NewRowSet(batch int) *RowSet {
 	return &RowSet{Batch: batch}
+}
+
+// NewRowSetCap returns an empty RowSet for the given batch width with
+// capacity for rows rows, so hot paths that know the row count up front
+// avoid repeated append growth (at batch 4096 each regrowth copies the
+// whole value backing array).
+func NewRowSetCap(batch, rows int) *RowSet {
+	return &RowSet{
+		Batch: batch,
+		IDs:   make([]int32, 0, rows),
+		Vals:  make([]float32, 0, rows*batch),
+	}
 }
 
 // Add appends one row. vals must have Batch elements.
@@ -85,7 +110,34 @@ func (rs *RowSet) Slice(lo, hi int) *RowSet {
 // width, row count, row ids and values (little-endian). With compress set,
 // everything after the preamble is zlib-compressed.
 func Encode(rs *RowSet, compress bool) ([]byte, error) {
+	if !compress {
+		// Build the payload in place: at batch 4096 the body is megabytes,
+		// and an encode-then-append would copy all of it a second time.
+		out := make([]byte, 2+8+len(rs.IDs)*4+len(rs.Vals)*4)
+		out[0], out[1] = magic, 0
+		fillBody(out[2:], rs)
+		return out, nil
+	}
 	body := make([]byte, 8+len(rs.IDs)*4+len(rs.Vals)*4)
+	fillBody(body, rs)
+	var buf bytes.Buffer
+	buf.WriteByte(magic)
+	buf.WriteByte(flagZlib)
+	zw := zlibWriters.Get().(*zlib.Writer)
+	zw.Reset(&buf)
+	if _, err := zw.Write(body); err != nil {
+		return nil, fmt.Errorf("wire: compressing payload: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("wire: closing compressor: %w", err)
+	}
+	zlibWriters.Put(zw)
+	return buf.Bytes(), nil
+}
+
+// fillBody serializes the row set into body, which must be exactly
+// 8 + 4*len(IDs) + 4*len(Vals) bytes.
+func fillBody(body []byte, rs *RowSet) {
 	binary.LittleEndian.PutUint32(body[0:4], uint32(rs.Batch))
 	binary.LittleEndian.PutUint32(body[4:8], uint32(len(rs.IDs)))
 	off := 8
@@ -97,22 +149,6 @@ func Encode(rs *RowSet, compress bool) ([]byte, error) {
 		binary.LittleEndian.PutUint32(body[off:], math.Float32bits(v))
 		off += 4
 	}
-	if !compress {
-		out := make([]byte, 2, 2+len(body))
-		out[0], out[1] = magic, 0
-		return append(out, body...), nil
-	}
-	var buf bytes.Buffer
-	buf.WriteByte(magic)
-	buf.WriteByte(flagZlib)
-	zw := zlib.NewWriter(&buf)
-	if _, err := zw.Write(body); err != nil {
-		return nil, fmt.Errorf("wire: compressing payload: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		return nil, fmt.Errorf("wire: closing compressor: %w", err)
-	}
-	return buf.Bytes(), nil
 }
 
 // Decode parses a payload produced by Encode.
@@ -121,19 +157,39 @@ func Decode(b []byte) (*RowSet, error) {
 		return nil, fmt.Errorf("wire: bad payload preamble")
 	}
 	body := b[2:]
+	var scratch *bytes.Buffer
 	if b[1]&flagZlib != 0 {
-		zr, err := zlib.NewReader(bytes.NewReader(body))
-		if err != nil {
-			return nil, fmt.Errorf("wire: opening decompressor: %w", err)
+		var zr io.ReadCloser
+		if v := zlibReaders.Get(); v != nil {
+			zr = v.(io.ReadCloser)
+			if err := zr.(zlib.Resetter).Reset(bytes.NewReader(body), nil); err != nil {
+				return nil, fmt.Errorf("wire: opening decompressor: %w", err)
+			}
+		} else {
+			var err error
+			zr, err = zlib.NewReader(bytes.NewReader(body))
+			if err != nil {
+				return nil, fmt.Errorf("wire: opening decompressor: %w", err)
+			}
 		}
-		body, err = io.ReadAll(zr)
-		if err != nil {
+		scratch = bodyBufs.Get().(*bytes.Buffer)
+		scratch.Reset()
+		if _, err := scratch.ReadFrom(zr); err != nil {
+			bodyBufs.Put(scratch)
 			return nil, fmt.Errorf("wire: decompressing payload: %w", err)
 		}
 		if err := zr.Close(); err != nil {
+			bodyBufs.Put(scratch)
 			return nil, fmt.Errorf("wire: closing decompressor: %w", err)
 		}
+		zlibReaders.Put(zr)
+		body = scratch.Bytes()
 	}
+	defer func() {
+		if scratch != nil {
+			bodyBufs.Put(scratch)
+		}
+	}()
 	if len(body) < 8 {
 		return nil, fmt.Errorf("wire: payload body too short (%d bytes)", len(body))
 	}

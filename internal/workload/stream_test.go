@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func drain(s TraceStream) []Query {
+	var out []Query
+	for {
+		b := s.Next()
+		if len(b) == 0 {
+			return out
+		}
+		out = append(out, b...)
+	}
+}
+
+func TestStreamAdapterYieldsWholeTrace(t *testing.T) {
+	trace := Day(100*4, []int{128, 256}, 4, 3)
+	got := drain(Stream(trace, 7))
+	if !reflect.DeepEqual(got, trace) {
+		t.Fatalf("stream adapter altered the trace: %d vs %d queries", len(got), len(trace))
+	}
+}
+
+func TestDiurnalDayExactTotalAndOrder(t *testing.T) {
+	const total = 10_000
+	s := DiurnalDay(total, []int{64, 128}, 2, 11, 512)
+	var n int
+	var prev time.Duration
+	sizes := map[int]int{}
+	for {
+		b := s.Next()
+		if len(b) == 0 {
+			break
+		}
+		for _, q := range b {
+			if q.At < prev {
+				t.Fatalf("arrival order violated: %v after %v", q.At, prev)
+			}
+			prev = q.At
+			if q.At < 0 || q.At >= 24*time.Hour {
+				t.Fatalf("arrival outside the day: %v", q.At)
+			}
+			if q.Samples != 2 {
+				t.Fatalf("samples %d, want 2", q.Samples)
+			}
+			sizes[q.Neurons]++
+			n++
+		}
+	}
+	if n != total {
+		t.Fatalf("stream yielded %d queries, want %d", n, total)
+	}
+	if sizes[64]+sizes[128] != total || sizes[64] != sizes[128] {
+		t.Fatalf("size round-robin broken: %v", sizes)
+	}
+}
+
+func TestDiurnalDayDeterministicAndDiurnal(t *testing.T) {
+	a := drain(DiurnalDay(5000, []int{64}, 1, 7, 256))
+	b := drain(DiurnalDay(5000, []int{64}, 1, 7, 999))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different batch size: traces diverge")
+	}
+	// The profile must actually be diurnal: the afternoon peak hours see
+	// several times the pre-dawn trough's volume.
+	count := func(from, to time.Duration) int {
+		n := 0
+		for _, q := range a {
+			if q.At >= from && q.At < to {
+				n++
+			}
+		}
+		return n
+	}
+	trough := count(2*time.Hour, 4*time.Hour)
+	peak := count(14*time.Hour, 16*time.Hour)
+	if peak < 3*trough {
+		t.Fatalf("profile not diurnal: peak %d vs trough %d", peak, trough)
+	}
+}

@@ -49,6 +49,12 @@ type benchPoint struct {
 	AllreduceFlatNsPerOp int64 `json:"allreduce_flat_ns_per_op"`
 	AllreduceTreeNsPerOp int64 `json:"allreduce_tree_ns_per_op"`
 	HybridNsPerOp        int64 `json:"hybrid_ns_per_op"`
+
+	// Million-query streaming replay gate (BENCH_6 onward). Queries/sec,
+	// so higher is better: the regression sign is inverted relative to the
+	// ns/op series, and an absolute floor (-minqps) backs the relative
+	// gate.
+	MillionQueriesPerSec float64 `json:"million_queries_per_sec"`
 }
 
 var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
@@ -149,6 +155,9 @@ func printHistory(dir string) error {
 		if pt.HybridNsPerOp > 0 {
 			fmt.Printf("  hybrid %d ns/op", pt.HybridNsPerOp)
 		}
+		if pt.MillionQueriesPerSec > 0 {
+			fmt.Printf("  million-replay %.0f q/s", pt.MillionQueriesPerSec)
+		}
 		fmt.Println()
 		prev = pt.NsPerOp
 	}
@@ -158,6 +167,7 @@ func printHistory(dir string) error {
 func main() {
 	newPath := flag.String("new", "", "freshly emitted bench point (default: highest-numbered BENCH_*.json)")
 	threshold := flag.Float64("threshold", 0.25, "maximum allowed ns/op regression (fraction)")
+	minQPS := flag.Float64("minqps", 100_000, "absolute floor for the million-query replay (queries/sec)")
 	history := flag.Bool("history", false, "print the full BENCH_* trajectory being guarded and exit")
 	flag.Parse()
 
@@ -251,6 +261,27 @@ func main() {
 		case s.cur > 0:
 			fmt.Printf("benchguard: no earlier %s point; %s starts that series at %d ns/op\n",
 				s.name, *newPath, s.cur)
+		}
+	}
+	// The million-query replay series (BENCH_6 onward) is in queries/sec,
+	// so a regression is a DROP: the sign inverts relative to the ns/op
+	// series, and an absolute floor backs the relative gate so the series
+	// cannot drift below the replay engine's throughput target 25% per PR.
+	if qps := cur.MillionQueriesPerSec; qps > 0 {
+		if qps < *minQPS {
+			log.Fatalf("benchguard: million-query replay %.0f q/s below the %.0f q/s floor", qps, *minQPS)
+		}
+		if base := prev.MillionQueriesPerSec; base > 0 {
+			drop := (base - qps) / base
+			fmt.Printf("benchguard: million-query replay %.0f q/s vs %.0f q/s (%+.1f%%)\n",
+				qps, base, 100*(qps-base)/base)
+			if drop > *threshold {
+				log.Fatalf("benchguard: million-query replay dropped %.1f%% (> %.0f%% allowed)",
+					100*drop, 100**threshold)
+			}
+		} else {
+			fmt.Printf("benchguard: no earlier million-query point; %s starts that series at %.0f q/s\n",
+				*newPath, qps)
 		}
 	}
 	fmt.Println("benchguard: within budget")

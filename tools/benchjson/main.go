@@ -4,10 +4,11 @@
 // every PR can append a point to the perf trajectory without parsing go
 // test output. From BENCH_4 on, the point also carries the cluster-channel
 // benchmark (the BenchmarkClusterChannel workload: one inference over a
-// 2-shard, 1-replica memory-store cluster), and from BENCH_5 on the
+// 2-shard, 1-replica memory-store cluster), from BENCH_5 on the
 // collectives pair (BenchmarkAllreduce flat/tree at P=32) and the hybrid
-// channel (BenchmarkHybridChannel), all guarded by benchguard alongside
-// the serving-replay gate.
+// channel (BenchmarkHybridChannel), and from BENCH_6 on the million-query
+// streaming replay (BenchmarkMillionQueryReplay, in queries/sec), all
+// guarded by benchguard alongside the serving-replay gate.
 //
 // Usage:
 //
@@ -24,6 +25,8 @@ import (
 	"time"
 
 	"fsdinference"
+	"fsdinference/internal/core"
+	"fsdinference/internal/serve"
 )
 
 type benchReport struct {
@@ -53,6 +56,13 @@ type benchReport struct {
 	AllreduceFlatNsPerOp int64 `json:"allreduce_flat_ns_per_op,omitempty"`
 	AllreduceTreeNsPerOp int64 `json:"allreduce_tree_ns_per_op,omitempty"`
 	HybridNsPerOp        int64 `json:"hybrid_ns_per_op,omitempty"`
+
+	// Million-query streaming replay point (BENCH_6 onward): sustained
+	// queries/sec of the BenchmarkMillionQueryReplay workload — a
+	// one-million-query diurnal day streamed through ReplayStream.
+	// Higher is better; benchguard inverts the regression sign and also
+	// enforces the 100k queries/sec floor.
+	MillionQueriesPerSec float64 `json:"million_queries_per_sec,omitempty"`
 }
 
 func main() {
@@ -165,6 +175,35 @@ func main() {
 		}
 	})
 
+	// The million-query streaming point: a 1M-query diurnal day through
+	// ReplayStream on an uncompressed 64-neuron endpoint, matching
+	// BenchmarkMillionQueryReplay. One pass is seconds, so a single
+	// measured iteration is enough.
+	m64, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(64, 2, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const millionTotal = 1_000_000
+	millionStart := time.Now()
+	msvc, err := fsdinference.NewService(fsdinference.NewEnv(),
+		fsdinference.WithEndpoint("m64", m64,
+			serve.WithDeployOverride(func(c *core.Config) { c.Compress = false })),
+		fsdinference.WithCoalescing(4096, 5*time.Minute),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mrep, err := msvc.ReplayStream(
+		fsdinference.DiurnalDay(millionTotal, []int{64}, 1, 7, 8192),
+		fsdinference.ReplayOptions{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if mrep.Queries != millionTotal || mrep.Failed != 0 {
+		log.Fatalf("million replay: %d queries, %d failed", mrep.Queries, mrep.Failed)
+	}
+	millionQPS := float64(millionTotal) / time.Since(millionStart).Seconds()
+
 	br := benchReport{
 		Benchmark:    "BenchmarkServiceReplay",
 		NsPerOp:      res.NsPerOp(),
@@ -185,6 +224,8 @@ func main() {
 		AllreduceFlatNsPerOp: allreduce(fsdinference.FlatCollective),
 		AllreduceTreeNsPerOp: allreduce(fsdinference.TreeCollective),
 		HybridNsPerOp:        hybridRes.NsPerOp(),
+
+		MillionQueriesPerSec: millionQPS,
 	}
 	data, err := json.MarshalIndent(br, "", "  ")
 	if err != nil {
