@@ -4,7 +4,7 @@
 # BENCH_N is this PR's point on the perf trajectory: bump it each PR so
 # `make bench` appends a new BENCH_N.json and benchguard compares it
 # against the previous one.
-BENCH_N := 6
+BENCH_N := 7
 
 check: fmt vet build test
 

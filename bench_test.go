@@ -185,6 +185,46 @@ func BenchmarkServiceReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceReplayTraced is the same workload as
+// BenchmarkServiceReplay with the observability layer on at 1%
+// sampling. The delta between the two documents the tracing overhead;
+// benchguard gates it at no more than 15% — the price of span hooks on
+// every request path when only one in a hundred requests records spans.
+func BenchmarkServiceReplayTraced(b *testing.B) {
+	mSmall, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(128, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mLarge, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := fsdinference.WorkloadDay(40*8, []int{128, 256}, 8, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, err := fsdinference.NewService(fsdinference.NewEnv(),
+			fsdinference.WithEndpoint("small", mSmall),
+			fsdinference.WithEndpoint("large", mLarge),
+			fsdinference.WithCoalescing(64, 200*time.Millisecond),
+			fsdinference.WithReplicas(2),
+			fsdinference.WithTracing(100),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := svc.Replay(trace, fsdinference.ReplayOptions{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			b.Fatalf("%d failed queries", rep.Failed)
+		}
+		if len(svc.Tracer().Spans()) == 0 {
+			b.Fatal("tracing produced no spans")
+		}
+	}
+}
+
 // BenchmarkMillionQueryReplay streams a one-million-query diurnal day
 // through a live endpoint end-to-end — streaming trace generation,
 // admission, coalescing, batched inference, incremental report folding —

@@ -10,7 +10,13 @@
 //	         [-replicas R] [-coalesce-batch S] [-coalesce-delay D]
 //	         [-autoscale] [-max-replicas M] [-run-concurrency C]
 //	         [-admission fifo|priority|deadline]
+//	         [-trace out.json] [-trace-sample N]
 //	         [-seed S] [-verify]
+//
+// With -trace, the replay records simulated-time spans (sampling one in
+// -trace-sample requests), writes a Perfetto-loadable Chrome trace to the
+// given path and prints a flame summary plus the metrics registry after
+// the report.
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 	admission := flag.String("admission", "fifo", "admission policy: fifo, priority or deadline")
 	coalesceBatch := flag.Int("coalesce-batch", 128, "max samples per coalesced engine run")
 	coalesceDelay := flag.Duration("coalesce-delay", 100*time.Millisecond, "max wait before a coalescing batch closes")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto) and print flame/metrics summaries")
+	traceSample := flag.Int("trace-sample", 100, "trace one in N requests (with -trace; 1 traces all)")
 	seed := flag.Int64("seed", 7, "trace and input seed")
 	verify := flag.Bool("verify", false, "check every output against reference inference")
 	flag.Parse()
@@ -72,6 +80,9 @@ func main() {
 		opts = append(opts, fsdinference.WithAdmission(fsdinference.DeadlineAdmission(true)))
 	default:
 		fatal("unknown admission policy %q", *admission)
+	}
+	if *tracePath != "" {
+		opts = append(opts, fsdinference.WithTracing(*traceSample))
 	}
 	var epOpts []fsdinference.EndpointOption
 	if *workers > 1 {
@@ -116,6 +127,23 @@ func main() {
 	fmt.Print(rep)
 	if *verify {
 		fmt.Println("all outputs verified against reference inference")
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := svc.Tracer().WriteChrome(f); err != nil {
+			fatal("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("writing trace: %v", err)
+		}
+		fmt.Printf("\nwrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *tracePath)
+		fmt.Printf("\nflame summary (1 in %d requests sampled):\n", *traceSample)
+		svc.Tracer().WriteFlame(os.Stdout)
+		fmt.Println("\nmetrics:")
+		svc.Metrics().WriteText(os.Stdout)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"fsdinference/internal/cost"
 	"fsdinference/internal/experiments"
 	"fsdinference/internal/model"
+	"fsdinference/internal/obs"
 	"fsdinference/internal/partition"
 	"fsdinference/internal/plan"
 	"fsdinference/internal/serve"
@@ -361,6 +362,42 @@ func WithEndpointScaling(p ScalingPolicy) EndpointOption { return serve.WithEndp
 func WithEndpointRunConcurrency(n int) EndpointOption {
 	return serve.WithEndpointRunConcurrency(n)
 }
+
+// Observability (internal/obs): a span tracer and metrics registry over
+// simulated time. WithTracing turns both on; the tracer exports Chrome
+// trace-event JSON (loadable in Perfetto or chrome://tracing, one track
+// per replica, worker and KV shard) and a plain-text flame summary, the
+// registry snapshots counters, gauges and log-linear latency histograms
+// mid-replay. Sampling is keyed on the request's trace index, so the
+// same workload at the same rate exports byte-identical traces whether
+// it replays on one kernel, sharded across lanes, or streamed. With
+// tracing off (the default) every hook is a single pointer check:
+//
+//	svc, _ := fsdinference.NewService(env, ..., fsdinference.WithTracing(100))
+//	rep, _ := svc.Replay(trace, fsdinference.ReplayOptions{Seed: 7})
+//	f, _ := os.Create("trace.json")
+//	svc.Tracer().WriteChrome(f)          // open in https://ui.perfetto.dev
+//	svc.Tracer().WriteFlame(os.Stdout)   // where did simulated time go
+//	svc.Metrics().WriteText(os.Stdout)   // counters, gauges, histograms
+type (
+	// Tracer records simulated-time spans; obtain one from
+	// Service.Tracer after WithTracing.
+	Tracer = obs.Tracer
+	// TraceSpan is one finished interval of simulated time.
+	TraceSpan = obs.Span
+	// MetricsRegistry holds the service's counters, gauges and latency
+	// histograms; obtain it from Service.Metrics.
+	MetricsRegistry = obs.Registry
+	// Metric is one snapshotted instrument.
+	Metric = obs.Metric
+	// LatencyHistogram is the bounded log-linear histogram behind both
+	// the serving reports and the metrics registry.
+	LatencyHistogram = obs.Histogram
+)
+
+// WithTracing enables the service's simulated-time tracer and metrics
+// registry, sampling one in sampleEvery requests (<= 1 samples all).
+func WithTracing(sampleEvery int) ServiceOption { return serve.WithTracing(sampleEvery) }
 
 // WithSLO lets an endpoint pick its channel and worker parallelism at
 // deploy time via the workload-aware Planner, given latency/cost

@@ -29,9 +29,11 @@ package kvcluster
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"fsdinference/internal/cloud/kvstore"
+	"fsdinference/internal/obs"
 	"fsdinference/internal/sim"
 )
 
@@ -58,6 +60,11 @@ type Config struct {
 	// return errors (CLUSTERDOWN-style) instead of blocking until
 	// promotion.
 	ErrorDuringFailover bool
+	// Trace is the owning deployment's observability scope
+	// (internal/obs): failover and partition windows become fault spans
+	// on per-shard tracks, MOVED redirects become instants. The zero
+	// scope disables it.
+	Trace obs.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -111,10 +118,15 @@ type Cluster struct {
 
 // shard is one slot range owner: a primary plus R replicas.
 type shard struct {
-	c       *Cluster
-	idx     int
-	label   string
-	primary *kvstore.Node
+	c     *Cluster
+	idx   int
+	label string
+	// strack is the shard's trace track ("ep/r1/kv/s0"); empty when the
+	// cluster is untraced. faultSpan is the open failover span between
+	// KillNode and promote.
+	strack    string
+	faultSpan obs.SpanRef
+	primary   *kvstore.Node
 	// replicas in promotion order: under quorum writes replicas[0] is
 	// the synchronous majority partner and the failover candidate.
 	replicas []*kvstore.Node
@@ -145,6 +157,9 @@ func New(kv *kvstore.Service, cfg Config) (*Cluster, error) {
 			idx:   i,
 			label: fmt.Sprintf("%s-s%d", cfg.Name, i),
 			cond:  sim.NewCond(c.k),
+		}
+		if cfg.Trace.T != nil {
+			sh.strack = fmt.Sprintf("%s/s%d", cfg.Trace.Track, i)
 		}
 		var err error
 		if sh.primary, err = c.provision(sh, false); err != nil {
@@ -233,6 +248,7 @@ func (c *Cluster) redirect(p *sim.Proc, cl *Client) {
 	p.Sleep(c.kv.Config().OpLatency)
 	c.moved++
 	c.kv.Meter().KVMoved++
+	c.cfg.Trace.Event("moved", obs.KindEvent)
 	cl.epoch = c.epoch
 }
 
@@ -428,6 +444,10 @@ func (c *Cluster) KillNode(shardIdx int) error {
 	sh.primary = nil
 	sh.failing = true
 	sh.repEpoch++
+	if t := c.cfg.Trace.T; t != nil {
+		sh.faultSpan = t.Start(sh.strack, "failover", obs.KindFault, 0)
+		sh.faultSpan.SetAttr("lost", strconv.FormatInt(lost, 10))
+	}
 	c.k.At(c.cfg.FailoverWindow, func() { sh.promote() })
 	return nil
 }
@@ -490,6 +510,8 @@ func (sh *shard) promote() {
 	}
 	sh.failing = false
 	c.epoch++
+	sh.faultSpan.End()
+	sh.faultSpan = obs.SpanRef{}
 	sh.cond.Broadcast()
 }
 
@@ -527,11 +549,16 @@ func (c *Cluster) Partition(shardIdx int, d time.Duration) error {
 	c.partitions++
 	sh.failing = true
 	epoch := sh.repEpoch
+	var psp obs.SpanRef
+	if t := c.cfg.Trace.T; t != nil {
+		psp = t.Start(sh.strack, "partition", obs.KindFault, 0)
+	}
 	c.k.At(d, func() {
 		if sh.repEpoch != epoch || !sh.failing {
-			return // a kill superseded the partition
+			return // a kill superseded the partition (its span stays open and is simply never exported)
 		}
 		sh.failing = false
+		psp.End()
 		sh.cond.Broadcast()
 	})
 	return nil

@@ -26,6 +26,7 @@ import (
 	"fsdinference/internal/cloud/usage"
 	"fsdinference/internal/collective"
 	"fsdinference/internal/model"
+	"fsdinference/internal/obs"
 	"fsdinference/internal/partition"
 	"fsdinference/internal/sparse"
 )
@@ -209,6 +210,13 @@ type Config struct {
 	// bandwidth (default 1). The scaled-experiment harness uses it to
 	// keep model-load time in proportion when projecting to paper scale.
 	StoreBandwidthScale float64
+
+	// Trace is the deployment's observability scope (internal/obs): the
+	// serving layer stamps a tracer plus a per-replica track name here,
+	// and the engine emits worker/channel/collective spans under it for
+	// runs the tracer sampled. The zero scope disables engine tracing at
+	// the cost of one pointer check per hook.
+	Trace obs.Scope
 }
 
 // withDefaults fills zero fields.

@@ -12,6 +12,7 @@ import (
 	"fsdinference/internal/cloud/s3"
 	"fsdinference/internal/cloud/sns"
 	"fsdinference/internal/cloud/sqs"
+	"fsdinference/internal/obs"
 	"fsdinference/internal/sim"
 	"fsdinference/internal/sparse"
 )
@@ -89,6 +90,11 @@ type runState struct {
 	// result availability); the per-run usage reconstruction uses them to
 	// attribute provisioned-capacity hours.
 	start, end time.Duration
+
+	// scope is the run's tracing scope — the deployment's scope narrowed
+	// to the serving-side run span this run nests under. Zero (one
+	// pointer check per hook) unless the run was sampled.
+	scope obs.Scope
 }
 
 // Deploy validates the configuration, stages the partitioned model into the
@@ -152,6 +158,7 @@ func Deploy(e *env.Env, cfg Config) (*Deployment, error) {
 			NodeType:       cfg.KVNodeType,
 			FailoverWindow: cfg.KVFailoverWindow,
 			ReplicationLag: cfg.KVReplicationLag,
+			Trace:          cfg.Trace.Sub("kv"),
 		})
 		if err != nil {
 			return nil, err
@@ -244,6 +251,15 @@ type workerPayload struct {
 // subscribed to the shared topics with a service-side filter on
 // (target, run), so concurrent runs never consume each other's messages.
 func (d *Deployment) Start(input *sparse.Dense, done func(*Result, error)) (string, error) {
+	return d.StartTraced(input, 0, done)
+}
+
+// StartTraced is Start for a run the serving layer's tracer sampled:
+// parent is the serving-side run span the engine's spans — worker
+// lifetimes, channel sends and receives, collective phases — nest
+// under. A zero parent, or a deployment without a tracing scope, behaves
+// exactly like Start.
+func (d *Deployment) StartTraced(input *sparse.Dense, parent obs.SpanID, done func(*Result, error)) (string, error) {
 	if input.Rows != d.Cfg.Model.Spec.Neurons {
 		return "", fmt.Errorf("core: input has %d rows, model expects %d", input.Rows, d.Cfg.Model.Spec.Neurons)
 	}
@@ -252,6 +268,9 @@ func (d *Deployment) Start(input *sparse.Dense, done func(*Result, error)) (stri
 		id:    fmt.Sprintf("r%d", d.runSeq),
 		batch: input.Cols,
 		input: input,
+	}
+	if d.Cfg.Trace.T != nil && parent != 0 {
+		run.scope = obs.Scope{T: d.Cfg.Trace.T, Track: d.Cfg.Trace.Track, Parent: parent}
 	}
 	if d.kvcluster != nil {
 		run.baseLost = d.kvcluster.LostValues()

@@ -3,10 +3,12 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"fsdinference/internal/cloud/faas"
 	"fsdinference/internal/cloud/kvstore"
 	"fsdinference/internal/collective"
+	"fsdinference/internal/obs"
 	"fsdinference/internal/sim"
 	"fsdinference/internal/sparse"
 	"fsdinference/internal/wire"
@@ -39,6 +41,31 @@ type worker struct {
 	// publishing layer k+1 while this worker still collects layer k),
 	// keyed by "kind:layer".
 	pending map[string][]pendingMsg
+
+	// Tracing state (set only when this run was sampled): the run's
+	// tracer, this worker's track name, and its lifetime span.
+	trace  *obs.Tracer
+	ttrack string
+	tspan  obs.SpanRef
+}
+
+// opSpan opens an engine-phase span on this worker's track. The nil
+// check is the entire cost when the run is untraced.
+func (w *worker) opSpan(name string) obs.SpanRef {
+	if w.trace == nil {
+		return obs.SpanRef{}
+	}
+	return w.trace.Start(w.ttrack, name, obs.KindOp, w.tspan.ID())
+}
+
+// failSpan closes the worker's lifetime span on an error path, tagging
+// the stage that failed.
+func (w *worker) failSpan(stage string) {
+	if w.trace == nil {
+		return
+	}
+	w.tspan.SetAttr("error", stage)
+	w.tspan.End()
 }
 
 type pendingMsg struct {
@@ -132,6 +159,12 @@ func (d *Deployment) workerHandler(ctx *faas.Ctx, payload []byte) ([]byte, error
 		w.id = req.Parent*int32(d.Cfg.Branching) + req.Sibling + 1
 	}
 	w.metrics = &WorkerMetrics{ID: w.id, StartedAt: ctx.P.Now(), Warm: ctx.Warm}
+	if sc := run.scope; sc.T != nil {
+		w.trace = sc.T
+		w.ttrack = fmt.Sprintf("%s/w%d", sc.Track, w.id)
+		w.tspan = sc.T.Start(w.ttrack, "worker", obs.KindWorker, sc.Parent)
+		w.tspan.SetAttr("warm", strconv.FormatBool(ctx.Warm))
+	}
 	run.metrics = append(run.metrics, w.metrics)
 	run.started = append(run.started, ctx.P.Now())
 	if ctx.P.Now() > run.lastStart {
@@ -153,18 +186,22 @@ func (d *Deployment) workerHandler(ctx *faas.Ctx, payload []byte) ([]byte, error
 
 	if err := w.invokeChildren(req); err != nil {
 		run.workerErrs = append(run.workerErrs, err)
+		w.failSpan("invoke-children")
 		return nil, err
 	}
 	if err := w.load(); err != nil {
 		run.workerErrs = append(run.workerErrs, err)
+		w.failSpan("load")
 		return nil, err
 	}
 	if err := w.runFSI(); err != nil {
 		run.workerErrs = append(run.workerErrs, err)
+		w.failSpan("fsi")
 		return nil, err
 	}
 	w.metrics.FinishedAt = ctx.P.Now()
 	w.metrics.PeakMemBytes = ctx.PeakMem()
+	w.tspan.End()
 	return []byte(`{"ok":true}`), nil
 }
 
@@ -210,6 +247,8 @@ func (w *worker) invokeChildren(req workerPayload) error {
 // (§III: each worker reads its share of weights, inference data and
 // per-layer send/recv maps upon launch).
 func (w *worker) load() error {
+	sp := w.opSpan("load")
+	defer sp.End()
 	p := w.ctx.P
 	d := w.d
 	t0 := p.Now()
@@ -291,12 +330,18 @@ func (w *worker) runFSI() error {
 	// between layers; recvBytes tracks this layer's received-row buffers.
 	var prevBytes, recvBytes int64
 	for k := range w.weights {
+		lsp := w.opSpan("layer")
+		if lsp.Active() {
+			lsp.SetAttr("k", strconv.Itoa(k))
+		}
 		// Extract and ship outgoing rows for this layer
 		// (Algorithm 1 lines 3-7 / Algorithm 2 lines 3-8).
 		outs := w.extractSendRows(k)
+		ssp := w.opSpan("send")
 		if err := w.ch.send(w, k, outs); err != nil {
 			return fmt.Errorf("core: worker %d layer %d send: %w", w.id, k, err)
 		}
+		ssp.End()
 
 		// Local multiply, overlapping communication with computation
 		// (line 8/9): z = W_m · x_m using only locally held rows.
@@ -313,6 +358,7 @@ func (w *worker) runFSI() error {
 		sources := d.Cfg.Plan.Recvs[k][w.id]
 		recvBytes = 0
 		if len(sources) > 0 {
+			rsp := w.opSpan("recv")
 			err := w.ch.receive(w, k, sources, func(src int32, rs *wire.RowSet) {
 				for i := 0; i < rs.Len(); i++ {
 					w.setXR(rs.IDs[i], rs.Row(i))
@@ -322,6 +368,7 @@ func (w *worker) runFSI() error {
 				recvBytes += b
 				w.ctx.Alloc(b)
 			})
+			rsp.End()
 			if err != nil {
 				return fmt.Errorf("core: worker %d layer %d receive: %w", w.id, k, err)
 			}
@@ -346,6 +393,7 @@ func (w *worker) runFSI() error {
 		}
 		w.ctx.Free(prevBytes + recvBytes)
 		prevBytes = zBytes
+		lsp.End()
 	}
 
 	// Barrier, then reduce the distributed output (lines 19-22 / 25-28) —
@@ -450,7 +498,13 @@ func (w *worker) barrier() error {
 	}
 	alg := w.algoFor(collective.OpBarrier, 0)
 	w.noteCollective(collective.OpBarrier, alg)
-	return collective.For(alg).Barrier(workerLink{w})
+	sp := w.opSpan("barrier")
+	if sp.Active() {
+		sp.SetAttr("alg", alg.String())
+	}
+	err := collective.For(alg).Barrier(workerLink{w})
+	sp.End()
+	return err
 }
 
 // extractSendRows materialises the layer's send map entries with data,
@@ -504,7 +558,12 @@ func (w *worker) reduce() error {
 	if w.d.Cfg.AllreduceOutput {
 		alg := w.algoFor(collective.OpAllreduce, est)
 		w.noteCollective(collective.OpAllreduce, alg)
+		sp := w.opSpan("allreduce")
+		if sp.Active() {
+			sp.SetAttr("alg", alg.String())
+		}
 		full, err := collective.For(alg).Allreduce(workerLink{w}, mine, collective.Union)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("core: worker %d allreduce: %w", w.id, err)
 		}
@@ -520,7 +579,12 @@ func (w *worker) reduce() error {
 
 	alg := w.algoFor(collective.OpGather, est)
 	w.noteCollective(collective.OpGather, alg)
+	sp := w.opSpan("gather")
+	if sp.Active() {
+		sp.SetAttr("alg", alg.String())
+	}
 	full, err := collective.For(alg).Gather(workerLink{w}, 0, mine)
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("core: worker %d reduce: %w", w.id, err)
 	}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram folds durations into a bounded log-linear histogram so a
+// streaming replay can report percentiles over a million-query day
+// without retaining a million samples. Each power-of-two decade is split
+// into histSub linear sub-buckets, so a reported percentile is the upper
+// edge of a bucket at most 1/histSub of its decade wide — within ~6% of
+// the exact nearest-rank value, deterministically. Count, sum, min and
+// max are exact. Histograms merge by bucket-wise addition, so per-lane
+// accounts combine losslessly.
+//
+// This is the serving layer's latency histogram (it began life in
+// internal/serve); the serving reports and the metrics registry share
+// the one implementation so their percentiles agree bucket for bucket.
+type Histogram struct {
+	count    int
+	sum      time.Duration
+	min, max time.Duration
+	buckets  [64 * histSub]int
+}
+
+const histSub = 16
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	v := uint64(d)
+	if d <= 0 {
+		return 0
+	}
+	e := bits.Len64(v) // v in [2^(e-1), 2^e)
+	if e <= 4 {
+		// The first decades are narrower than histSub; index linearly.
+		return int(v)
+	}
+	sub := (v - 1<<(e-1)) >> (uint(e) - 5) // 16 linear sub-buckets
+	return e*histSub + int(sub)
+}
+
+// upperBound returns the largest duration a bucket can hold — the value
+// a percentile falling in that bucket reports.
+func upperBound(idx int) time.Duration {
+	if idx < histSub {
+		return time.Duration(idx)
+	}
+	e := idx / histSub
+	sub := idx % histSub
+	width := uint64(1) << (uint(e) - 5)
+	return time.Duration(uint64(1)<<(e-1) + uint64(sub+1)*width - 1)
+}
+
+// Observe folds one duration into the histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[bucketOf(d)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return h.count }
+
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Min returns the exact minimum observation (0 when empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the exact maximum observation (0 when empty).
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the nearest-rank p-th percentile's bucket upper
+// bound, clamped to the exact observed maximum.
+func (h *Histogram) Quantile(p int) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := (p*h.count + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	seen := 0
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			ub := upperBound(i)
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// Merge adds another histogram's observations bucket-wise; count, sum,
+// min and max stay exact.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i, c := range o.buckets {
+		if c != 0 {
+			h.buckets[i] += c
+		}
+	}
+}

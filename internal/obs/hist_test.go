@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistSingleSample: the p99 of one observation is that observation,
+// exactly — the max clamp must cancel the bucket's rounding-up.
+func TestHistSingleSample(t *testing.T) {
+	var h Histogram
+	d := 137 * time.Millisecond
+	h.Observe(d)
+	for _, p := range []int{1, 50, 95, 99, 100} {
+		if got := h.Quantile(p); got != d {
+			t.Errorf("p%d of single sample = %v, want %v", p, got, d)
+		}
+	}
+	if h.Count() != 1 || h.Sum() != d || h.Min() != d || h.Max() != d {
+		t.Errorf("single-sample stats wrong: count=%d sum=%v min=%v max=%v",
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+}
+
+// TestHistBelowFirstDecades: values at or below the linear head of the
+// bucket scale (including zero and negative clamped to bucket 0) report
+// exactly.
+func TestHistBelowFirstDecades(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{0, 1, 3, 15} {
+		h.Observe(d)
+	}
+	if h.Min() != 0 || h.Max() != 15 {
+		t.Errorf("min=%v max=%v", h.Min(), h.Max())
+	}
+	// Sub-16ns values index linearly, so each quantile is exact.
+	if got := h.Quantile(25); got != 0 {
+		t.Errorf("p25 = %v, want 0", got)
+	}
+	if got := h.Quantile(50); got != 1 {
+		t.Errorf("p50 = %v, want 1ns", got)
+	}
+	if got := h.Quantile(75); got != 3 {
+		t.Errorf("p75 = %v, want 3ns", got)
+	}
+	if got := h.Quantile(100); got != 15 {
+		t.Errorf("p100 = %v, want 15ns", got)
+	}
+
+	// A negative duration (clock skew upstream) folds into bucket 0
+	// rather than a panic or a wild index; quantiles report the bucket
+	// bound (0) while Min stays exact.
+	var n Histogram
+	n.Observe(-time.Second)
+	if got := n.Quantile(99); got != 0 {
+		t.Errorf("negative sample p99 = %v, want bucket-0 bound 0", got)
+	}
+	if n.Min() != -time.Second {
+		t.Errorf("negative sample min = %v", n.Min())
+	}
+}
+
+// TestHistOverflowBucket: a duration near the top of the int64 range
+// lands in the last decade and quantiles clamp to the exact max.
+func TestHistOverflowBucket(t *testing.T) {
+	var h Histogram
+	huge := time.Duration(math.MaxInt64 - 7)
+	h.Observe(time.Millisecond)
+	h.Observe(huge)
+	if got := h.Quantile(99); got != huge {
+		t.Errorf("p99 = %v, want exact max %v", got, huge)
+	}
+	if got := h.Quantile(1); got < time.Millisecond || got > time.Millisecond+time.Millisecond/10 {
+		t.Errorf("p1 = %v, want ~1ms bucket edge", got)
+	}
+	if h.Max() != huge {
+		t.Errorf("max = %v", h.Max())
+	}
+}
+
+// TestBucketMonotonic sweeps the bucket math: indices never decrease with
+// the value, the upper bound always covers the value, and the relative
+// rounding error stays within one sub-bucket (~1/16 of a decade).
+func TestBucketMonotonic(t *testing.T) {
+	prev := -1
+	for _, v := range sweepDurations() {
+		idx := bucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+		ub := upperBound(idx)
+		if ub < v {
+			t.Fatalf("upperBound(bucketOf(%d)) = %d < value", v, ub)
+		}
+		if v >= 32 { // past the linear head the bound is within 1/16
+			if float64(ub-v) > float64(v)/8 {
+				t.Fatalf("bound %d too loose for %d", ub, v)
+			}
+		}
+	}
+}
+
+func sweepDurations() []time.Duration {
+	var out []time.Duration
+	for v := time.Duration(0); v < 200; v++ {
+		out = append(out, v)
+	}
+	for e := uint(8); e < 62; e++ {
+		base := time.Duration(1) << e
+		out = append(out, base-1, base, base+base/16, base+base/3, base+base/2)
+	}
+	return out
+}
+
+// TestHistMerge: merging two halves equals observing everything in one
+// histogram — bucket for bucket.
+func TestHistMerge(t *testing.T) {
+	var whole, a, b Histogram
+	for i := 0; i < 500; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		whole.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	a.Merge(&b)
+	a.Merge(nil)          // no-op
+	a.Merge(&Histogram{}) // empty no-op
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() ||
+		a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged stats diverge: count %d/%d sum %v/%v",
+			a.Count(), whole.Count(), a.Sum(), whole.Sum())
+	}
+	for _, p := range []int{1, 25, 50, 75, 95, 99, 100} {
+		if a.Quantile(p) != whole.Quantile(p) {
+			t.Errorf("p%d: merged %v, whole %v", p, a.Quantile(p), whole.Quantile(p))
+		}
+	}
+
+	// Merging into an empty histogram copies min/max exactly.
+	var empty Histogram
+	empty.Merge(&whole)
+	if empty.Min() != whole.Min() || empty.Max() != whole.Max() {
+		t.Errorf("empty-merge min/max wrong: %v/%v", empty.Min(), empty.Max())
+	}
+}

@@ -1,104 +1,32 @@
 package serve
 
 import (
-	"math/bits"
 	"time"
+
+	"fsdinference/internal/obs"
 )
 
-// latencyHist folds per-request latencies into a bounded log-linear
-// histogram so streaming replays can report percentiles over a
-// million-query day without retaining a million samples. Each power-of-two
-// decade is split into histSub linear sub-buckets, so a reported
-// percentile is the upper edge of a bucket at most 1/histSub of its decade
-// wide — within ~6% of the exact nearest-rank value, deterministically.
-// Count, mean, min and max are exact. Histograms merge by bucket-wise
-// addition, so per-lane streaming accounts could be combined the same way.
-type latencyHist struct {
-	count    int
-	sum      time.Duration
-	min, max time.Duration
-	buckets  [64 * histSub]int
-}
+// latencyHist is the bounded log-linear histogram streaming replays fold
+// per-request latencies into. The implementation lives in internal/obs
+// (the metrics registry shares it), so the serving reports and the
+// observability layer agree bucket for bucket on every percentile.
+type latencyHist = obs.Histogram
 
-const histSub = 16
-
-// bucketOf maps a latency to its bucket index.
-func bucketOf(d time.Duration) int {
-	v := uint64(d)
-	if d <= 0 {
-		return 0
-	}
-	e := bits.Len64(v) // v in [2^(e-1), 2^e)
-	if e <= 4 {
-		// The first decades are narrower than histSub; index linearly.
-		return int(v)
-	}
-	sub := (v - 1<<(e-1)) >> (uint(e) - 5) // 16 linear sub-buckets
-	return e*histSub + int(sub)
-}
-
-// upperBound returns the largest latency a bucket can hold — the value a
-// percentile falling in that bucket reports.
-func upperBound(idx int) time.Duration {
-	if idx < histSub {
-		return time.Duration(idx)
-	}
-	e := idx / histSub
-	sub := idx % histSub
-	width := uint64(1) << (uint(e) - 5)
-	return time.Duration(uint64(1)<<(e-1) + uint64(sub+1)*width - 1)
-}
-
-func (h *latencyHist) add(d time.Duration) {
-	if h.count == 0 || d < h.min {
-		h.min = d
-	}
-	if d > h.max {
-		h.max = d
-	}
-	h.count++
-	h.sum += d
-	h.buckets[bucketOf(d)]++
-}
-
-// quantile returns the nearest-rank p-th percentile's bucket upper bound,
-// clamped to the exact observed maximum.
-func (h *latencyHist) quantile(p int) time.Duration {
-	if h.count == 0 {
-		return 0
-	}
-	rank := (p*h.count + 99) / 100 // ceil(p/100 * n)
-	if rank < 1 {
-		rank = 1
-	}
-	seen := 0
-	for i, c := range h.buckets {
-		seen += c
-		if seen >= rank {
-			ub := upperBound(i)
-			if ub > h.max {
-				ub = h.max
-			}
-			return ub
-		}
-	}
-	return h.max
-}
-
-// stats renders the histogram as the report's LatencyStats. The
-// percentiles are bucket upper bounds (see the type comment); count,
-// mean, min and max are exact.
-func (h *latencyHist) stats() LatencyStats {
-	if h.count == 0 {
+// histStats renders a histogram as the report's LatencyStats. The
+// percentiles are bucket upper bounds (see obs.Histogram); count, mean,
+// min and max are exact.
+func histStats(h *latencyHist) LatencyStats {
+	n := h.Count()
+	if n == 0 {
 		return LatencyStats{}
 	}
 	return LatencyStats{
-		Count: h.count,
-		Mean:  h.sum / time.Duration(h.count),
-		Min:   h.min,
-		Max:   h.max,
-		P50:   h.quantile(50),
-		P95:   h.quantile(95),
-		P99:   h.quantile(99),
+		Count: n,
+		Mean:  h.Sum() / time.Duration(n),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(50),
+		P95:   h.Quantile(95),
+		P99:   h.Quantile(99),
 	}
 }

@@ -75,7 +75,11 @@ func (s *Service) ReplayLanes(lanes int, trace []workload.Query, opts ReplayOpti
 			return nil, err
 		}
 		rep, _, err := lane.replayRouted(func() ([]routedQuery, error) { return items, nil }, opts)
-		return rep, err
+		if err != nil {
+			return nil, err
+		}
+		s.absorbObs([]*Service{lane})
+		return rep, nil
 	}
 
 	laneOfSize := make(map[int]int, len(sizes))
@@ -147,7 +151,27 @@ func (s *Service) ReplayLanes(lanes int, trace []workload.Query, opts ReplayOpti
 		}
 		reps[l], lats[l] = rep, all
 	}
+	s.absorbObs(svcs)
 	return s.mergeLaneReports(reps, lats), nil
+}
+
+// absorbObs folds the lanes' tracers and metric registries into the
+// receiver's, so a laned replay exposes the same observability surface
+// as a shared-kernel one. Spans are appended in lane order; the Chrome
+// exporter's canonical (time, rendered-event) ordering makes the final
+// output independent of which lane recorded a span, which is what the
+// byte-identical-trace contract rests on.
+func (s *Service) absorbObs(lanes []*Service) {
+	if s.trace == nil {
+		return
+	}
+	for _, lane := range lanes {
+		if lane == nil {
+			continue
+		}
+		s.trace.Merge(lane.trace)
+		s.metrics.Merge(lane.metrics)
+	}
 }
 
 // cloneService rebuilds this service (optionally filtered to a subset of

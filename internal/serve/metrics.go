@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"fsdinference/internal/core"
+	"fsdinference/internal/obs"
+)
+
+// epMetrics caches one endpoint's registry instruments at build time so
+// hot-path updates are pointer increments, never registry map lookups.
+// It exists only when the service was built WithTracing; every use site
+// guards on the nil.
+type epMetrics struct {
+	reg  *obs.Registry
+	name string
+
+	requests   *obs.Counter // resolved requests, completed + failed + shed
+	failures   *obs.Counter // requests resolved with an error (incl. shed)
+	shed       *obs.Counter
+	coldStarts *obs.Counter
+	warmStarts *obs.Counter
+	failedRuns *obs.Counter
+	queueDepth *obs.Gauge
+	latency    *obs.Histogram
+
+	// runsByChannel labels run counts with the channel the run actually
+	// executed on — an SLO re-plan can change it mid-replay, hence the
+	// lazy per-kind resolution.
+	runsByChannel map[core.ChannelKind]*obs.Counter
+}
+
+func newEpMetrics(reg *obs.Registry, name string) *epMetrics {
+	return &epMetrics{
+		reg:           reg,
+		name:          name,
+		requests:      reg.Counter("requests_total", "endpoint", name),
+		failures:      reg.Counter("request_failures_total", "endpoint", name),
+		shed:          reg.Counter("requests_shed_total", "endpoint", name),
+		coldStarts:    reg.Counter("cold_starts_total", "endpoint", name),
+		warmStarts:    reg.Counter("warm_starts_total", "endpoint", name),
+		failedRuns:    reg.Counter("run_failures_total", "endpoint", name),
+		queueDepth:    reg.Gauge("queue_depth", "endpoint", name),
+		latency:       reg.Histogram("request_latency_ns", "endpoint", name),
+		runsByChannel: make(map[core.ChannelKind]*obs.Counter),
+	}
+}
+
+// setQueueDepth is the nil-safe gauge update on the dispatch hot path:
+// metrics off costs exactly the nil comparison.
+func (m *epMetrics) setQueueDepth(n int) {
+	if m != nil {
+		m.queueDepth.Set(float64(n))
+	}
+}
+
+func (m *epMetrics) runFor(ch core.ChannelKind) *obs.Counter {
+	c := m.runsByChannel[ch]
+	if c == nil {
+		c = m.reg.Counter("runs_total", "endpoint", m.name, "channel", ch.String())
+		m.runsByChannel[ch] = c
+	}
+	return c
+}

@@ -197,7 +197,10 @@ func (s *Service) replayStart(route func() ([]routedQuery, error), opts ReplayOp
 		if opts.Submit != nil {
 			so = opts.Submit(it.idx, it.q)
 		}
-		run.handles[i] = s.SubmitWith(it.name, run.inputs[i], base+it.q.At, so)
+		// The query's trace index — not the service-local submit
+		// counter — is the sampling key, so lanes replaying disjoint
+		// sub-traces sample the same requests as a shared-kernel replay.
+		run.handles[i] = s.submit(it.name, run.inputs[i], base+it.q.At, so, nil, it.idx)
 	}
 
 	run.chaos, err = s.scheduleChaos(base, opts.Chaos)

@@ -266,7 +266,11 @@ func (r *Report) String() string {
 			fmt.Fprintf(&sb, "  shard %s: %.3f node-hours ($%.4f)\n", s, r.KVShardHours[s], r.KVShardCost[s])
 		}
 	}
-	if r.KVFailovers > 0 {
+	// One rule for all chaos-path counters: the line prints when ANY of
+	// them is nonzero. Gating on failovers alone hid MOVED redirects
+	// (and, in principle, losses or re-sends) from partition-only or
+	// scale-churn runs that never completed a failover.
+	if r.KVFailovers+r.KVLostValues+r.KVResends+r.KVMoved > 0 {
 		fmt.Fprintf(&sb, "store failovers: %d, %d value(s) lost, %d re-sent, %d MOVED redirect(s)\n",
 			r.KVFailovers, r.KVLostValues, r.KVResends, r.KVMoved)
 	}

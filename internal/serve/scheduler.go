@@ -4,9 +4,11 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"fsdinference/internal/core"
+	"fsdinference/internal/obs"
 	"fsdinference/internal/plan"
 	"fsdinference/internal/sim"
 )
@@ -65,6 +67,10 @@ type replica struct {
 	active    int
 	lastUsed  time.Duration
 	idleSince time.Duration
+	// track is the replica's trace timeline name ("ep/r3"); empty when
+	// tracing is off. It survives SLO-driven deployment swaps unchanged
+	// in spirit: the swap installs the fresh deployment's track.
+	track string
 	// stale marks a replica whose deployment predates an SLO
 	// re-selection; it is replaced with the current configuration the
 	// next time it goes idle.
@@ -129,6 +135,8 @@ func (sc *scheduler) admit(r *request) {
 
 	sc.seq++
 	r.seq = sc.seq
+	// Zero-ref no-op when the request is unsampled or tracing is off.
+	r.phase = r.span.Child("coalesce", obs.KindPhase)
 	sc.window = append(sc.window, r)
 	sc.windowSamples += r.samples
 	if sc.coalesce.maxBatch > 0 && sc.windowSamples >= sc.coalesce.maxBatch {
@@ -160,6 +168,8 @@ func (sc *scheduler) flush() {
 	for _, r := range sc.window {
 		heap.Push(&sc.queue, r)
 		sc.queuedSamples += r.samples
+		r.phase.End()
+		r.phase = r.span.Child("queue", obs.KindPhase)
 	}
 	sc.window = nil
 	sc.windowSamples = 0
@@ -298,7 +308,7 @@ func (sc *scheduler) evaluatePool() {
 }
 
 func (sc *scheduler) addReplica(now time.Duration) {
-	d, err := core.Deploy(sc.ep.svc.env, sc.ep.dcfg)
+	rep, err := sc.ep.deployReplica()
 	if err != nil {
 		// The configuration was validated when the endpoint was built (and
 		// any re-planned configuration comes out of the Planner), so a
@@ -306,8 +316,8 @@ func (sc *scheduler) addReplica(now time.Duration) {
 		panic(fmt.Sprintf("serve: endpoint %q scale-up deploy: %v", sc.ep.name, err))
 	}
 	sc.accrue(now)
-	sc.pool = append(sc.pool, &replica{d: d, lastUsed: now, idleSince: now})
-	sc.ep.cfg = d.Cfg
+	rep.lastUsed, rep.idleSince = now, now
+	sc.pool = append(sc.pool, rep)
 }
 
 // pickReplica returns the replica the next run should land on: the most
@@ -340,14 +350,15 @@ func (sc *scheduler) dispatch() {
 	for sc.queue.Len() > 0 {
 		rep := sc.pickReplica()
 		if rep == nil {
-			return
+			break
 		}
 		b := sc.nextBatch()
 		if b == nil {
-			return
+			break
 		}
 		sc.startRun(rep, b)
 	}
+	sc.ep.met.setQueueDepth(sc.queue.Len())
 }
 
 // nextBatch pops requests in admission order into one engine-run batch of
@@ -383,15 +394,24 @@ func (sc *scheduler) nextBatch() *batch {
 // loaded sibling endpoint serving the same model size when the policy
 // reroutes, failed with ErrShed otherwise.
 func (sc *scheduler) shed(r *request, now time.Duration) {
+	r.phase.End()
 	if sc.admission.Reroute() && !r.rerouted {
 		if alt := sc.leastLoadedSibling(); alt != nil {
 			r.rerouted = true
+			r.span.SetAttr("rerouted", alt.name)
 			sc.ep.stats.Rerouted++
 			alt.sched.admit(r)
 			return
 		}
 	}
 	sc.ep.stats.Shed++
+	if m := sc.ep.met; m != nil {
+		m.requests.Inc()
+		m.failures.Inc()
+		m.shed.Inc()
+	}
+	r.span.SetAttr("error", "shed")
+	r.span.End()
 	r.h.fail(now, fmt.Errorf("serve: endpoint %q: %w (deadline %v, now %v)",
 		sc.ep.name, ErrShed, r.deadline, now))
 }
@@ -438,18 +458,45 @@ func (sc *scheduler) startRun(rep *replica, b *batch) {
 	if rep.active > sc.ep.stats.MaxConcurrent {
 		sc.ep.stats.MaxConcurrent = rep.active
 	}
+	// Close the queue phases and open the run span when any member
+	// request is sampled: run-level sampling follows request-level
+	// sampling, so coalescing — identical across replay modes — decides
+	// identically everywhere.
+	var runSpan obs.SpanRef
+	if t := sc.ep.svc.trace; t != nil {
+		sampled := false
+		for _, r := range b.reqs {
+			r.phase.End()
+			if r.span.Active() {
+				sampled = true
+			}
+		}
+		if sampled {
+			runSpan = t.Start(rep.track, "run", obs.KindRun, 0)
+		}
+	}
 	input := mergeInputs(sc.ep.m.Spec.Neurons, b)
-	_, err := rep.d.Start(input, func(res *core.Result, err error) {
-		sc.finishRun(rep, b, res, err)
+	id, err := rep.d.StartTraced(input, runSpan.ID(), func(res *core.Result, err error) {
+		sc.finishRun(rep, b, runSpan, res, err)
 	})
 	if err != nil {
+		runSpan.SetAttr("error", "start")
+		runSpan.End()
 		sc.releaseRun(rep)
 		now := sc.now()
 		for _, r := range b.reqs {
+			r.span.SetAttr("error", "start")
+			r.span.End()
 			r.h.fail(now, err)
 		}
 		sc.ep.stats.FailedRuns++
 		sc.dispatch()
+		return
+	}
+	if runSpan.Active() {
+		// The run's async id is its replica track plus the engine run id
+		// — both replay-mode-stable, unlike raw span ids.
+		runSpan.SetAsync(rep.track + "/" + id)
 	}
 }
 
@@ -470,29 +517,39 @@ func (sc *scheduler) maybeReplace(rep *replica, now time.Duration) {
 	if !rep.stale {
 		return
 	}
-	d, err := core.Deploy(sc.ep.svc.env, sc.ep.dcfg)
+	nrep, err := sc.ep.deployReplica()
 	if err != nil {
 		panic(fmt.Sprintf("serve: endpoint %q re-selection deploy: %v", sc.ep.name, err))
 	}
 	rep.d.Decommission()
-	rep.d = d
+	rep.d = nrep.d
+	rep.track = nrep.track
 	rep.stale = false
 	rep.lastUsed = now
 	rep.idleSince = now
-	sc.ep.cfg = d.Cfg
 }
 
 // finishRun runs in simulation context when a replica's engine run
 // completes: it releases the run slot, splits the output columns back to
 // the coalesced requests, feeds the observations to the scaling/SLO
 // machinery and dispatches any backlog.
-func (sc *scheduler) finishRun(rep *replica, b *batch, res *core.Result, err error) {
+func (sc *scheduler) finishRun(rep *replica, b *batch, runSpan obs.SpanRef, res *core.Result, err error) {
 	sc.releaseRun(rep)
 	ep := sc.ep
 	now := sc.now()
+	m := ep.met
 	if err != nil {
+		runSpan.SetAttr("error", "run")
+		runSpan.End()
 		ep.stats.FailedRuns++
+		if m != nil {
+			m.requests.Add(int64(len(b.reqs)))
+			m.failures.Add(int64(len(b.reqs)))
+			m.failedRuns.Inc()
+		}
 		for _, r := range b.reqs {
+			r.span.SetAttr("error", "run")
+			r.span.End()
 			r.h.fail(now, err)
 		}
 		sc.evaluatePool()
@@ -523,12 +580,35 @@ func (sc *scheduler) finishRun(rep *replica, b *batch, res *core.Result, err err
 		} else {
 			ep.stats.ColdStarts++
 		}
+		if m != nil {
+			if w.Warm {
+				m.warmStarts.Inc()
+			} else {
+				m.coldStarts.Inc()
+			}
+		}
+	}
+	if runSpan.Active() {
+		runSpan.SetAttr("samples", strconv.Itoa(b.samples))
+		runSpan.SetAttr("requests", strconv.Itoa(len(b.reqs)))
+		runSpan.End()
+	}
+	if m != nil {
+		m.runFor(rep.d.Cfg.Channel).Inc()
+		m.requests.Add(int64(len(b.reqs)))
 	}
 	off := 0
 	for _, r := range b.reqs {
 		cols := r.input.Cols
 		if r.deadline > 0 && now > r.deadline {
 			ep.stats.DeadlineMissed++
+		}
+		if r.span.Active() {
+			r.span.SetAttr("run", res.RunID)
+			r.span.End()
+		}
+		if m != nil {
+			m.latency.Observe(now - r.arrived)
 		}
 		r.h.complete(now, &Response{
 			Endpoint:      ep.name,

@@ -22,6 +22,7 @@ package serve
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,7 @@ import (
 	"fsdinference/internal/cloud/usage"
 	"fsdinference/internal/core"
 	"fsdinference/internal/model"
+	"fsdinference/internal/obs"
 	"fsdinference/internal/partition"
 	"fsdinference/internal/plan"
 	"fsdinference/internal/sparse"
@@ -67,13 +69,15 @@ type endpointConfig struct {
 
 // serviceConfig accumulates Service options.
 type serviceConfig struct {
-	policy    coalescePolicy
-	replicas  int
-	admission AdmissionPolicy
-	scaling   ScalingPolicy
-	runConc   int
-	eps       []*endpointConfig
-	err       error
+	policy     coalescePolicy
+	replicas   int
+	admission  AdmissionPolicy
+	scaling    ScalingPolicy
+	runConc    int
+	tracing    bool
+	traceEvery int
+	eps        []*endpointConfig
+	err        error
 }
 
 // Option configures a Service.
@@ -120,6 +124,19 @@ func WithScaling(p ScalingPolicy) Option {
 // one deployment are isolated per run id on every channel.
 func WithRunConcurrency(n int) Option {
 	return func(c *serviceConfig) { c.runConc = n }
+}
+
+// WithTracing enables the service's simulated-time tracer and metrics
+// registry (internal/obs), sampling one in sampleEvery requests
+// (sampleEvery <= 1 traces every request). Sampling is keyed on the
+// request's position in the replayed trace, so the same workload at the
+// same rate selects the same requests — and exports byte-identical
+// Chrome traces — whether it replays on one shared kernel, sharded
+// across lanes, or streamed. The option carries configuration rather
+// than a tracer instance: each replay lane builds a tracer bound to its
+// own kernel clock and the lanes merge afterwards.
+func WithTracing(sampleEvery int) Option {
+	return func(c *serviceConfig) { c.tracing = true; c.traceEvery = sampleEvery }
 }
 
 // WithEndpoint registers a named model endpoint.
@@ -226,6 +243,15 @@ type Service struct {
 	// pending holds every submitted handle that has not resolved, so a
 	// failed kernel run can surface its error on all of them.
 	pending map[*Handle]struct{}
+
+	// trace and metrics are nil unless WithTracing was applied; every hot
+	// path guards on the nil, which is the whole cost of tracing-off.
+	trace   *obs.Tracer
+	metrics *obs.Registry
+	// submitSeq numbers interactive Submits for sampling. Replay paths
+	// bypass it and sample on the query's trace index instead, which is
+	// what makes lane-vs-single traces identical.
+	submitSeq int
 }
 
 // Endpoint is one named model behind the Service. Its scheduling — window,
@@ -241,6 +267,14 @@ type Endpoint struct {
 	mutate func(*core.Config)
 	sched  *scheduler
 	slo    *sloState
+
+	// replicaSeq numbers every replica this endpoint ever deploys, so a
+	// traced replica's track name is stable across replay modes (pool
+	// position is not: replaced replicas reuse slots).
+	replicaSeq int
+	// met caches the endpoint's registry instruments; nil when metrics
+	// are off.
+	met *epMetrics
 
 	stats endpointStats
 }
@@ -267,6 +301,10 @@ type request struct {
 	deadline time.Duration // absolute virtual time; 0 = none
 	samples  int
 	rerouted bool
+	// span is the request's trace span (zero when unsampled); phase is
+	// the currently open serving stage within it (coalesce, queue).
+	span  obs.SpanRef
+	phase obs.SpanRef
 }
 
 func (r *request) info() RequestInfo {
@@ -384,6 +422,13 @@ func newService(e *env.Env, keep func(name string) bool, opts ...Option) (*Servi
 		byName:       make(map[string]*Endpoint),
 		byNeuronsAll: make(map[int][]*Endpoint),
 		pending:      make(map[*Handle]struct{}),
+	}
+	if cfg.tracing {
+		// Built before the endpoints so initial replica deployments are
+		// traced too. The tracer reads this environment's kernel clock,
+		// so each lane clone gets one bound to its own kernel.
+		s.trace = obs.New(e.K.Clock(), cfg.traceEvery)
+		s.metrics = obs.NewRegistry()
 	}
 	for _, ec := range cfg.eps {
 		ep, err := s.buildEndpoint(ec, cfg)
@@ -505,20 +550,43 @@ func (s *Service) buildEndpoint(ec *endpointConfig, cfg *serviceConfig) (*Endpoi
 	}
 
 	ep.sched = newScheduler(ep, policy, admission, scaling, runConc)
+	if s.metrics != nil {
+		ep.met = newEpMetrics(s.metrics, ep.name)
+	}
 	initial := scaling.Target(PoolState{RunCapacity: runConc})
 	if initial < 1 {
 		initial = 1
 	}
 	for i := 0; i < initial; i++ {
-		d, err := core.Deploy(s.env, ep.dcfg)
+		rep, err := ep.deployReplica()
 		if err != nil {
 			return nil, fmt.Errorf("serve: endpoint %q replica %d: %w", ec.name, i, err)
 		}
-		ep.cfg = d.Cfg // defaults applied
-		ep.sched.pool = append(ep.sched.pool, &replica{d: d})
+		ep.sched.pool = append(ep.sched.pool, rep)
 	}
 	ep.stats.PeakReplicas = len(ep.sched.pool)
 	return ep, nil
+}
+
+// deployReplica deploys one replica from the endpoint's current template.
+// With tracing on, the deployment's trace scope is stamped with a
+// replay-mode-independent track — the endpoint name plus a per-endpoint
+// replica ordinal — so engine-side spans land on the same timeline
+// whether the endpoint runs on the shared kernel or inside a lane.
+func (ep *Endpoint) deployReplica() (*replica, error) {
+	dcfg := ep.dcfg
+	var track string
+	if t := ep.svc.trace; t != nil {
+		track = fmt.Sprintf("%s/r%d", ep.name, ep.replicaSeq)
+		dcfg.Trace = obs.Scope{T: t, Track: track}
+	}
+	ep.replicaSeq++
+	d, err := core.Deploy(ep.svc.env, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	ep.cfg = d.Cfg // defaults applied
+	return &replica{d: d, track: track}, nil
 }
 
 // selectConfig plans (or re-plans) the endpoint's configuration for a
@@ -636,6 +704,15 @@ func (s *Service) Endpoints() []string {
 // Now returns the current virtual time of the shared kernel.
 func (s *Service) Now() time.Duration { return s.env.K.Now() }
 
+// Tracer returns the service's span tracer, or nil when tracing is off
+// (WithTracing not applied). After a laned replay it holds the merged
+// spans of every lane.
+func (s *Service) Tracer() *obs.Tracer { return s.trace }
+
+// Metrics returns the service's metrics registry, or nil when tracing is
+// off. Snapshots may be taken mid-replay for time-series windows.
+func (s *Service) Metrics() *obs.Registry { return s.metrics }
+
 // SubmitOptions carries per-request scheduling metadata.
 type SubmitOptions struct {
 	// Priority orders dispatch under PriorityAdmission (higher first;
@@ -658,14 +735,19 @@ func (s *Service) Submit(name string, input *sparse.Dense, at time.Duration) *Ha
 // SubmitWith is Submit with per-request scheduling metadata: a priority
 // class and/or a completion deadline for the admission policy.
 func (s *Service) SubmitWith(name string, input *sparse.Dense, at time.Duration, opts SubmitOptions) *Handle {
-	return s.submit(name, input, at, opts, nil)
+	idx := s.submitSeq
+	s.submitSeq++
+	return s.submit(name, input, at, opts, nil, idx)
 }
 
 // submit is the common submission path. notify, when non-nil, is installed
 // on the handle before any validation can fail it, so streaming replays
 // observe every resolution — including synchronous rejects — through one
-// hook and never need to retain the handle themselves.
-func (s *Service) submit(name string, input *sparse.Dense, at time.Duration, opts SubmitOptions, notify func(*Handle)) *Handle {
+// hook and never need to retain the handle themselves. idx is the
+// request's sampling index: replay paths pass the query's position in
+// the original trace (mode-stable), interactive Submits a service-local
+// sequence.
+func (s *Service) submit(name string, input *sparse.Dense, at time.Duration, opts SubmitOptions, notify func(*Handle), idx int) *Handle {
 	h := &Handle{svc: s, endpoint: name, priority: opts.Priority, notify: notify}
 	s.pending[h] = struct{}{}
 	ep := s.byName[name]
@@ -698,6 +780,14 @@ func (s *Service) submit(name string, input *sparse.Dense, at time.Duration, opt
 		}
 		if opts.Deadline > 0 {
 			r.deadline = now + opts.Deadline
+		}
+		if t := s.trace; t != nil && t.Sample(idx) {
+			r.span = t.Start(ep.name, "request", obs.KindRequest, 0)
+			r.span.SetAsync("q" + strconv.Itoa(idx))
+			r.span.SetAttr("samples", strconv.Itoa(r.samples))
+			if r.priority != 0 {
+				r.span.SetAttr("priority", strconv.Itoa(r.priority))
+			}
 		}
 		ep.sched.admit(r)
 	})

@@ -86,8 +86,8 @@ func (s *Service) ReplayStream(stream workload.TraceStream, opts ReplayOptions) 
 		resp := h.resp
 		rep.Samples += resp.Output.Cols
 		a.samples += resp.Output.Cols
-		all.add(resp.Latency)
-		a.lat.add(resp.Latency)
+		all.Observe(resp.Latency)
+		a.lat.Observe(resp.Latency)
 		if h.priority != 0 || a.perPrio != nil {
 			if a.perPrio == nil {
 				a.perPrio = make(map[int]*latencyHist)
@@ -102,7 +102,7 @@ func (s *Service) ReplayStream(stream workload.TraceStream, opts ReplayOptions) 
 				ph = &latencyHist{}
 				a.perPrio[h.priority] = ph
 			}
-			ph.add(resp.Latency)
+			ph.Observe(resp.Latency)
 		}
 		if h.finished-base > rep.Horizon {
 			rep.Horizon = h.finished - base
@@ -139,7 +139,7 @@ func (s *Service) ReplayStream(stream workload.TraceStream, opts ReplayOptions) 
 			}
 			rep.Queries++
 			acc(ep).queries++
-			s.submit(name, in, base+q.At, so, notify)
+			s.submit(name, in, base+q.At, so, notify, submitted)
 			submitted++
 		}
 		// Pull the next batch when the clock reaches this batch's last
@@ -168,7 +168,7 @@ func (s *Service) ReplayStream(stream workload.TraceStream, opts ReplayOptions) 
 	}
 	s.closeWindow(win)
 
-	rep.Latency = all.stats()
+	rep.Latency = histStats(&all)
 	for _, ep := range s.eps {
 		a := acc(ep)
 		var perPrio []PriorityLatency
@@ -179,11 +179,11 @@ func (s *Service) ReplayStream(stream workload.TraceStream, opts ReplayOptions) 
 			}
 			sort.Sort(sort.Reverse(sort.IntSlice(prios)))
 			for _, p := range prios {
-				perPrio = append(perPrio, PriorityLatency{Priority: p, Latency: a.perPrio[p].stats()})
+				perPrio = append(perPrio, PriorityLatency{Priority: p, Latency: histStats(a.perPrio[p])})
 			}
 		}
 		rep.Endpoints = append(rep.Endpoints, s.endpointReport(ep, win,
-			a.queries, a.failed, a.samples, a.lat.stats(), perPrio))
+			a.queries, a.failed, a.samples, histStats(&a.lat), perPrio))
 	}
 	s.meterReport(rep, win)
 	rep.ChaosKills = chaos.kills

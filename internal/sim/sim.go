@@ -139,6 +139,12 @@ func (k *Kernel) SetEventLimit(n uint64) { k.maxEvents = n }
 // or, between Run calls, from the host.
 func (k *Kernel) Now() time.Duration { return k.now }
 
+// Clock returns the kernel's virtual clock as a plain function, so
+// layers above (the tracer in internal/obs) can timestamp against
+// simulated time without importing the kernel. Reading it costs exactly
+// what Now costs: one field load.
+func (k *Kernel) Clock() func() time.Duration { return k.Now }
+
 // getEvent pops the free list or allocates.
 func (k *Kernel) getEvent() *event {
 	if e := k.free; e != nil {

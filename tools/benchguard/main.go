@@ -55,6 +55,12 @@ type benchPoint struct {
 	// ns/op series, and an absolute floor (-minqps) backs the relative
 	// gate.
 	MillionQueriesPerSec float64 `json:"million_queries_per_sec"`
+
+	// Traced serving replay (BENCH_7 onward): the NsPerOp workload with
+	// 1%-sampled tracing on. Gated two ways — across files like the other
+	// ns/op series, and within the file against NsPerOp so the tracing
+	// overhead itself stays under -traceoverhead.
+	ReplayTracedNsPerOp int64 `json:"replay_traced_ns_per_op"`
 }
 
 var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
@@ -158,6 +164,9 @@ func printHistory(dir string) error {
 		if pt.MillionQueriesPerSec > 0 {
 			fmt.Printf("  million-replay %.0f q/s", pt.MillionQueriesPerSec)
 		}
+		if pt.ReplayTracedNsPerOp > 0 {
+			fmt.Printf("  traced %d ns/op", pt.ReplayTracedNsPerOp)
+		}
 		fmt.Println()
 		prev = pt.NsPerOp
 	}
@@ -168,6 +177,7 @@ func main() {
 	newPath := flag.String("new", "", "freshly emitted bench point (default: highest-numbered BENCH_*.json)")
 	threshold := flag.Float64("threshold", 0.25, "maximum allowed ns/op regression (fraction)")
 	minQPS := flag.Float64("minqps", 100_000, "absolute floor for the million-query replay (queries/sec)")
+	traceOverhead := flag.Float64("traceoverhead", 0.15, "maximum tracing overhead: traced vs untraced serving replay within one file (fraction)")
 	history := flag.Bool("history", false, "print the full BENCH_* trajectory being guarded and exit")
 	flag.Parse()
 
@@ -247,6 +257,7 @@ func main() {
 		{"cluster channel", cur.ClusterNsPerOp, prev.ClusterNsPerOp},
 		{"tree allreduce", cur.AllreduceTreeNsPerOp, prev.AllreduceTreeNsPerOp},
 		{"hybrid channel", cur.HybridNsPerOp, prev.HybridNsPerOp},
+		{"traced replay", cur.ReplayTracedNsPerOp, prev.ReplayTracedNsPerOp},
 	}
 	for _, s := range series {
 		switch {
@@ -282,6 +293,19 @@ func main() {
 		} else {
 			fmt.Printf("benchguard: no earlier million-query point; %s starts that series at %.0f q/s\n",
 				*newPath, qps)
+		}
+	}
+	// The tracing-overhead gate (BENCH_7 onward) is within-file: the traced
+	// serving replay against the untraced one in the SAME point, so the
+	// comparison is hardware-invariant — both numbers come from one run on
+	// one machine, and the delta is the observability layer's price alone.
+	if cur.ReplayTracedNsPerOp > 0 && cur.NsPerOp > 0 {
+		overhead := float64(cur.ReplayTracedNsPerOp-cur.NsPerOp) / float64(cur.NsPerOp)
+		fmt.Printf("benchguard: tracing overhead %d ns/op traced vs %d ns/op untraced (%+.1f%%)\n",
+			cur.ReplayTracedNsPerOp, cur.NsPerOp, 100*overhead)
+		if overhead > *traceOverhead {
+			log.Fatalf("benchguard: tracing overhead %.1f%% (> %.0f%% allowed)",
+				100*overhead, 100**traceOverhead)
 		}
 	}
 	fmt.Println("benchguard: within budget")

@@ -6,9 +6,11 @@
 // benchmark (the BenchmarkClusterChannel workload: one inference over a
 // 2-shard, 1-replica memory-store cluster), from BENCH_5 on the
 // collectives pair (BenchmarkAllreduce flat/tree at P=32) and the hybrid
-// channel (BenchmarkHybridChannel), and from BENCH_6 on the million-query
-// streaming replay (BenchmarkMillionQueryReplay, in queries/sec), all
-// guarded by benchguard alongside the serving-replay gate.
+// channel (BenchmarkHybridChannel), from BENCH_6 on the million-query
+// streaming replay (BenchmarkMillionQueryReplay, in queries/sec), and from
+// BENCH_7 on the traced serving replay (BenchmarkServiceReplayTraced, the
+// same workload with 1%-sampled tracing, gated within-file at 15%
+// overhead), all guarded by benchguard alongside the serving-replay gate.
 //
 // Usage:
 //
@@ -57,6 +59,12 @@ type benchReport struct {
 	AllreduceTreeNsPerOp int64 `json:"allreduce_tree_ns_per_op,omitempty"`
 	HybridNsPerOp        int64 `json:"hybrid_ns_per_op,omitempty"`
 
+	// Traced serving-replay point (BENCH_7 onward): the same workload as
+	// NsPerOp with the observability layer on at 1% sampling
+	// (BenchmarkServiceReplayTraced). benchguard gates the within-file
+	// overhead (ReplayTracedNsPerOp vs NsPerOp) at 15%.
+	ReplayTracedNsPerOp int64 `json:"replay_traced_ns_per_op,omitempty"`
+
 	// Million-query streaming replay point (BENCH_6 onward): sustained
 	// queries/sec of the BenchmarkMillionQueryReplay workload — a
 	// one-million-query diurnal day streamed through ReplayStream.
@@ -101,6 +109,27 @@ func main() {
 	if rep == nil {
 		log.Fatal("benchmark produced no report")
 	}
+
+	// The traced serving-replay point: identical workload with the
+	// observability layer on at 1% sampling, matching
+	// BenchmarkServiceReplayTraced.
+	tracedRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc, err := fsdinference.NewService(fsdinference.NewEnv(),
+				fsdinference.WithEndpoint("small", mSmall),
+				fsdinference.WithEndpoint("large", mLarge),
+				fsdinference.WithCoalescing(64, 200*time.Millisecond),
+				fsdinference.WithReplicas(2),
+				fsdinference.WithTracing(100),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.Replay(trace, fsdinference.ReplayOptions{Seed: 11}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 
 	// The cluster-channel point: one inference over a 2-shard, 1-replica
 	// memory-store cluster, matching BenchmarkClusterChannel.
@@ -224,6 +253,8 @@ func main() {
 		AllreduceFlatNsPerOp: allreduce(fsdinference.FlatCollective),
 		AllreduceTreeNsPerOp: allreduce(fsdinference.TreeCollective),
 		HybridNsPerOp:        hybridRes.NsPerOp(),
+
+		ReplayTracedNsPerOp: tracedRes.NsPerOp(),
 
 		MillionQueriesPerSec: millionQPS,
 	}
