@@ -1,12 +1,12 @@
 # Tier-1 verification: formatting, static checks, build, tests.
-.PHONY: check fmt vet build test bench bench-guard profile
+.PHONY: check fmt vet build test lint bench bench-guard profile
 
 # BENCH_N is this PR's point on the perf trajectory: bump it each PR so
 # `make bench` appends a new BENCH_N.json and benchguard compares it
 # against the previous one.
-BENCH_N := 7
+BENCH_N := 8
 
-check: fmt vet build test
+check: fmt vet build test lint
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -20,6 +20,13 @@ build:
 
 test:
 	go test ./...
+
+# lint runs simlint, the repo's determinism discipline (see tools/simlint
+# and the "Determinism discipline" section of README.md). Zero unsuppressed
+# findings is a merge requirement; suppressions must carry a reason
+# (//simlint:allow <analyzer> — <why>).
+lint:
+	go run ./tools/simlint ./...
 
 bench: bench-guard
 	go test -bench . -benchtime 1x .

@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"fsdinference"
@@ -88,8 +89,13 @@ func main() {
 	fmt.Printf("  bulk values parked in object storage: %d (%d bytes in %d chunks, %d PUTs, %d GETs)\n",
 		res.Usage.HybridBulkValues, res.Usage.HybridBulkBytes, res.Usage.HybridChunks,
 		res.Usage.S3PutCalls, res.Usage.S3GetCalls)
-	for k, v := range res.Usage.Collectives {
-		fmt.Printf("  collective %-18s x%d\n", k, v)
+	colls := make([]string, 0, len(res.Usage.Collectives))
+	for k := range res.Usage.Collectives {
+		colls = append(colls, k)
+	}
+	sort.Strings(colls)
+	for _, k := range colls {
+		fmt.Printf("  collective %-18s x%d\n", k, res.Usage.Collectives[k])
 	}
 	fmt.Println("\nbulk tensors never touch the provisioned node, so a burst of concurrent")
 	fmt.Println("runs fits the small node type the memory channel would overflow")

@@ -17,6 +17,7 @@ package kvstore
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -136,8 +137,16 @@ func (s *Service) Node(name string) *Node { return s.nodes[name] }
 // consumed so far (the windowed-accounting hook: idle node-hours must
 // land inside the window that held them).
 func (s *Service) Settle() {
-	for _, n := range s.nodes {
-		n.accrue()
+	// Accrue in sorted node order: accruals add float node-hours into
+	// the shared meter, and float addition in map iteration order would
+	// let the meter's low bits differ between runs of the same trace.
+	names := make([]string, 0, len(s.nodes))
+	for name := range s.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.nodes[name].accrue()
 	}
 }
 

@@ -273,3 +273,46 @@ func TestProvisionRejectsTypeMismatch(t *testing.T) {
 		t.Fatalf("same-type re-provision should return the existing node: %v", err)
 	}
 }
+
+// TestSettleOrderDeterministic is the regression test for the latent
+// determinism bug the maporder burndown surfaced: Settle accrued nodes
+// in map iteration order, and each accrual adds float node-hours into
+// the shared meter. Float addition is not associative, so two replays
+// of the same trace could disagree in the meter's low bits depending on
+// which order the node map happened to iterate. Settle now accrues in
+// sorted node-name order; rebuilding the identical scenario must
+// produce bit-identical meter totals every time.
+func TestSettleOrderDeterministic(t *testing.T) {
+	build := func() (float64, float64) {
+		k := sim.New()
+		m := usage.NewMeter()
+		cfg := DefaultConfig()
+		cfg.MinBilledDuration = 0 // no floor: distinct lifetimes stay distinct
+		s := New(k, m, cfg)
+		// Eight nodes of one type provisioned at staggered, binary-inexact
+		// offsets, so the per-node hour values differ and the sum's low
+		// bits depend on addition order.
+		for i := 0; i < 8; i++ {
+			i := i
+			k.At(time.Duration(i)*737*time.Millisecond, func() {
+				if _, err := s.Provision(fmt.Sprintf("n%d", i), DefaultNodeType); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		k.At(10*time.Second, func() {})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		s.Settle()
+		return m.KVGBHours, m.KVNodeHours[DefaultNodeType]
+	}
+	gb0, nh0 := build()
+	for run := 1; run < 40; run++ {
+		gb, nh := build()
+		if gb != gb0 || nh != nh0 {
+			t.Fatalf("Settle not deterministic: run %d got (%x, %x) want (%x, %x)",
+				run, gb, nh, gb0, nh0)
+		}
+	}
+}

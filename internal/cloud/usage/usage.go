@@ -10,6 +10,7 @@ package usage
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"fsdinference/internal/cloud/pricing"
@@ -248,6 +249,22 @@ func (b Breakdown) String() string {
 	return sb.String()
 }
 
+// FoldSorted calls f for each entry of m in ascending key order. Use it
+// wherever map entries feed a floating-point accumulation: float
+// addition is not associative, so folding in map iteration order would
+// make the low bits of a total differ run to run, which the replay
+// engine's bit-for-bit report equality cannot tolerate.
+func FoldSorted(m map[string]float64, f func(k string, v float64)) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f(k, m[k])
+	}
+}
+
 // Cost converts the metered usage into billed dollars under catalogue c.
 func (m *Meter) Cost(c pricing.Catalog) Breakdown {
 	var b Breakdown
@@ -259,15 +276,15 @@ func (m *Meter) Cost(c pricing.Catalog) Breakdown {
 	b.S3 = float64(m.S3PutCalls)*c.S3Put +
 		float64(m.S3GetCalls)*c.S3Get +
 		float64(m.S3ListCalls)*c.S3List
-	for typ, h := range m.EC2Hours {
+	FoldSorted(m.EC2Hours, func(typ string, h float64) {
 		b.EC2 += h * c.EC2Hourly[typ]
-	}
-	for typ, h := range m.KVNodeHours {
+	})
+	FoldSorted(m.KVNodeHours, func(typ string, h float64) {
 		b.KV += h * c.KVNodeHourly[typ]
-	}
-	for typ, h := range m.KVReplicaHours {
+	})
+	FoldSorted(m.KVReplicaHours, func(typ string, h float64) {
 		b.KVReplica += h * c.KVNodeHourly[typ]
-	}
+	})
 	return b
 }
 
@@ -279,10 +296,10 @@ func (m *Meter) Cost(c pricing.Catalog) Breakdown {
 // of KVNodeHours.
 func (m *Meter) KVShardCost(c pricing.Catalog) map[string]float64 {
 	var hours, dollars float64
-	for typ, h := range m.KVNodeHours {
+	FoldSorted(m.KVNodeHours, func(typ string, h float64) {
 		hours += h
 		dollars += h * c.KVNodeHourly[typ]
-	}
+	})
 	if hours <= 0 {
 		return nil
 	}

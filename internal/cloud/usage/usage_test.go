@@ -104,3 +104,55 @@ func TestBilledPublishRequests(t *testing.T) {
 		}
 	}
 }
+
+// TestCostFoldOrderDeterministic is the regression test for the
+// maporder burndown: Cost folds per-type hour maps into float totals,
+// and float addition is not associative, so folding in map iteration
+// order produced bit-different totals from one call to the next.
+// FoldSorted pins the order; every call must now agree to the last bit.
+func TestCostFoldOrderDeterministic(t *testing.T) {
+	m := NewMeter()
+	c := pricing.Default()
+	// Several binary-inexact hour values per type, so any reordering of
+	// the fold changes the low bits of the sum.
+	i := 0
+	for typ := range c.EC2Hourly {
+		m.EC2Hours[typ] = 0.1 + 0.7*float64(i)
+		i++
+	}
+	i = 0
+	for typ := range c.KVNodeHourly {
+		m.KVNodeHours[typ] = 0.3 + 1.7*float64(i)
+		m.KVReplicaHours[typ] = 0.9 + 0.13*float64(i)
+		i++
+	}
+	if len(m.EC2Hours) < 3 || len(m.KVNodeHours) < 3 {
+		t.Skip("catalog too small to exercise fold order")
+	}
+	first := m.Cost(c)
+	for run := 0; run < 100; run++ {
+		b := m.Cost(c)
+		for _, v := range [][2]float64{
+			{b.EC2, first.EC2}, {b.KV, first.KV}, {b.KVReplica, first.KVReplica},
+		} {
+			if math.Float64bits(v[0]) != math.Float64bits(v[1]) {
+				t.Fatalf("Cost fold not deterministic: run %d got %x want %x", run, math.Float64bits(v[0]), math.Float64bits(v[1]))
+			}
+		}
+	}
+}
+
+// TestFoldSortedOrder pins FoldSorted's contract: ascending key order,
+// every entry exactly once.
+func TestFoldSortedOrder(t *testing.T) {
+	m := map[string]float64{"b": 2, "a": 1, "c": 3}
+	var keys []string
+	var sum float64
+	FoldSorted(m, func(k string, v float64) {
+		keys = append(keys, k)
+		sum += v
+	})
+	if strings.Join(keys, "") != "abc" || sum != 6 {
+		t.Fatalf("FoldSorted visited %v (sum %v), want a,b,c (6)", keys, sum)
+	}
+}

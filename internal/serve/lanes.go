@@ -111,6 +111,7 @@ func (s *Service) ReplayLanes(lanes int, trace []workload.Query, opts ReplayOpti
 	for l := 0; l < lanes; l++ {
 		l := l
 		wg.Add(1)
+		//simlint:allow kernelgo — host-side lane fan-out: each goroutine owns one sealed lane service with its own kernel, RNGs and tracer; lanes share nothing until the deterministic merge after Wait
 		go func() {
 			defer wg.Done()
 			keep := laneEps[l]

@@ -125,9 +125,9 @@ func (s *Service) meterReport(rep *Report, win *replayWindow) {
 	rep.TotalCost = used.Cost(s.env.Pricing)
 	rep.KVGBHours = used.KVGBHours
 	rep.KVOps = used.KVOps
-	for _, h := range used.KVReplicaHours {
+	usage.FoldSorted(used.KVReplicaHours, func(_ string, h float64) {
 		rep.KVReplicaHours += h
-	}
+	})
 	for shard, h := range used.KVShardHours {
 		if h <= 0 {
 			continue

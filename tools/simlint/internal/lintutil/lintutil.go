@@ -1,0 +1,110 @@
+// Package lintutil holds the small set of helpers the simlint
+// analyzers share: resolving calls to package-level functions and
+// classifying packages into the simulation domain the discipline
+// applies to.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PkgFunc reports whether call invokes a package-level function, and if
+// so returns the imported package's path and the function name. It
+// resolves through the type checker, so import aliases and shadowed
+// identifiers are handled correctly.
+func PkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// IsKernel reports whether path is the simulation kernel package — the
+// one place allowed to read goroutine primitives and own the clock.
+func IsKernel(path string) bool {
+	return path == "internal/sim" || strings.HasSuffix(path, "/internal/sim")
+}
+
+// IsSimDomain reports whether code at path runs inside the simulation:
+// everything except the kernel itself and host-side trees (cmd, tools,
+// examples), whose code runs on the real machine and may use real
+// concurrency and real clocks subject to walltime directives.
+func IsSimDomain(path string) bool {
+	if IsKernel(path) {
+		return false
+	}
+	for _, seg := range strings.Split(path, "/") {
+		switch seg {
+		case "cmd", "tools", "examples":
+			return false
+		}
+	}
+	return true
+}
+
+// Walk visits every node under n in source order, passing each visit
+// the stack of ancestor nodes (outermost first, excluding the node
+// itself).
+func Walk(n ast.Node, visit func(n ast.Node, parents []ast.Node)) {
+	walk(n, nil, visit)
+}
+
+func walk(n ast.Node, parents []ast.Node, visit func(ast.Node, []ast.Node)) {
+	if n == nil {
+		return
+	}
+	visit(n, parents)
+	parents = append(parents, n)
+	for _, c := range children(n) {
+		walk(c, parents, visit)
+	}
+}
+
+// children returns n's direct AST children, using ast.Inspect's first
+// recursion level.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// HasMethod reports whether typ's method set (value or pointer) holds a
+// method with the given name.
+func HasMethod(typ types.Type, name string) bool {
+	ms := types.NewMethodSet(typ)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	if _, isPtr := typ.(*types.Pointer); !isPtr {
+		ms = types.NewMethodSet(types.NewPointer(typ))
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}

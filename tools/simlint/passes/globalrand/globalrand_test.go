@@ -1,0 +1,16 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"fsdinference/tools/simlint/analysis/analysistest"
+	"fsdinference/tools/simlint/passes/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer,
+		"globalrand/svc",
+		"globalrand/tools/gen",
+		"globalrand/suppressed",
+	)
+}

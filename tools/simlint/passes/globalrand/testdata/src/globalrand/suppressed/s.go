@@ -1,0 +1,10 @@
+// Package suppressed shows reasoned directives silencing globalrand.
+// simlint-fixture: clean
+package suppressed
+
+import "math/rand"
+
+func sanctioned() int {
+	//simlint:allow globalrand — fixture: warmup jitter outside the measured region
+	return rand.Intn(10)
+}

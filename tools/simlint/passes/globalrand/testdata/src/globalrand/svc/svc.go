@@ -1,0 +1,35 @@
+// Package svc is a simulation-domain fixture for globalrand: global
+// draws, package-level sources, and constant seeds are all hits;
+// per-entity seeding is the sanctioned miss.
+package svc
+
+import "math/rand"
+
+// shared is the PR 7 bug shape: one stream for every entity.
+var shared = rand.New(rand.NewSource(1)) // want `package-level rand\.New: a service-wide random source`
+
+var sharedSrc = rand.NewSource(7) // want `package-level rand\.NewSource: a service-wide random source`
+
+const defaultSeed int64 = 99
+
+func globals() {
+	_ = rand.Intn(10)     // want `rand\.Intn draws from the process-global source`
+	_ = rand.Float64()    // want `rand\.Float64 draws from the process-global source`
+	rand.Shuffle(3, swap) // want `rand\.Shuffle draws from the process-global source`
+}
+
+func constSeeds() {
+	_ = rand.NewSource(42)                  // want `rand\.NewSource with a constant seed`
+	_ = rand.NewSource(int64(3))            // want `rand\.NewSource with a constant seed`
+	_ = rand.New(rand.NewSource(1<<20 + 7)) // want `rand\.NewSource with a constant seed`
+}
+
+// perEntity is the sanctioned pattern: the stream is scoped to one
+// entity and seeded from its identity.
+func perEntity(seed int64, idx int) int {
+	r := rand.New(rand.NewSource(seed + int64(idx)))
+	named := rand.New(rand.NewSource(defaultSeed))
+	return r.Intn(10) + named.Intn(10)
+}
+
+func swap(i, j int) {}

@@ -1,0 +1,15 @@
+// Package gen is a host-side fixture: literal seeds are fine outside
+// the simulation domain, but the process-global source is still
+// banned.
+package gen
+
+import "math/rand"
+
+func literalSeedOK() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+func globalStillBanned() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global source`
+}

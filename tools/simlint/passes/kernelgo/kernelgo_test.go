@@ -1,0 +1,16 @@
+package kernelgo_test
+
+import (
+	"testing"
+
+	"fsdinference/tools/simlint/analysis/analysistest"
+	"fsdinference/tools/simlint/passes/kernelgo"
+)
+
+func TestKernelgo(t *testing.T) {
+	analysistest.Run(t, "testdata", kernelgo.Analyzer,
+		"kernelgo/svc",
+		"kernelgo/cmd/app",
+		"kernelgo/suppressed",
+	)
+}

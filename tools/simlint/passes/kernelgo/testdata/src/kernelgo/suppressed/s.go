@@ -1,0 +1,10 @@
+// Package suppressed shows a reasoned kernelgo suppression, mirroring
+// the lane fan-out in internal/serve/lanes.go. simlint-fixture: clean
+package suppressed
+
+func fanOut(lanes int) {
+	for i := 0; i < lanes; i++ {
+		//simlint:allow kernelgo — fixture: host-side fan-out; lanes share nothing until the deterministic merge
+		go func() {}()
+	}
+}

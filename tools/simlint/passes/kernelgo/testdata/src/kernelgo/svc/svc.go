@@ -1,0 +1,29 @@
+// Package svc is a simulation-domain fixture for kernelgo: every raw
+// go statement is a hit — simulated work must be scheduled through the
+// kernel so virtual time, not the host scheduler, orders it.
+package svc
+
+type kernel struct{}
+
+func (kernel) Go(fn func()) {}
+
+func raw() {
+	go work()   // want `raw go statement in simulation-domain code`
+	go func() { // want `raw go statement in simulation-domain code`
+		work()
+	}()
+}
+
+func nested() {
+	fn := func() {
+		go work() // want `raw go statement in simulation-domain code`
+	}
+	fn()
+}
+
+// sanctioned runs simulated work as a kernel process.
+func sanctioned(k kernel) {
+	k.Go(work)
+}
+
+func work() {}

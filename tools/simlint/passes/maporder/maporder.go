@@ -1,0 +1,485 @@
+// Package maporder flags range-over-map loops whose bodies are
+// sensitive to iteration order. Go randomizes map iteration per loop,
+// so any such body produces different output on every run — the purest
+// form of nondeterminism the replay engine's byte-identity guarantees
+// cannot survive.
+//
+// A loop is reported when its body, in map iteration order, feeds an
+// order-sensitive sink:
+//
+//   - appends to a slice that outlives the loop;
+//   - writes bytes (strings.Builder, io.Writer, encoders, fmt
+//     printing) to a destination that outlives the loop;
+//   - emits trace events or spans;
+//   - sends on a channel;
+//   - folds with a non-commutative operator (float/complex/string
+//     accumulation — integer counters, |=, &=, ^= are commutative and
+//     allowed);
+//   - overwrites a variable that outlives the loop with a value
+//     derived from the iteration (last writer wins), except in the
+//     max/min idiom where the write is guarded by a comparison against
+//     the destination;
+//   - exits early (break, or return of iteration-derived values):
+//     which element wins depends on order.
+//
+// Two idioms are recognized as safe and never reported: bodies with no
+// sink at all (map writes, delete, integer counters, max/min updates),
+// and the canonical collect-then-sort pattern — a loop that only
+// appends keys or values to a slice that is passed to sort.* or
+// slices.Sort* later in the same block. Everything else needs either a
+// restructure or a reasoned //simlint:allow maporder directive arguing
+// commutativity.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fsdinference/tools/simlint/analysis"
+	"fsdinference/tools/simlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map loops whose bodies depend on iteration order",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		lintutil.Walk(f, func(n ast.Node, parents []ast.Node) {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			checkLoop(pass, rng, parents)
+		})
+	}
+	return nil
+}
+
+// A sink is one order-sensitive effect found in a loop body.
+type sink struct {
+	pos  token.Pos
+	what string
+	// appendDst is non-nil when the sink is an append to an outer
+	// slice — the only sink kind the collect-then-sort exemption can
+	// discharge.
+	appendDst types.Object
+}
+
+func checkLoop(pass *analysis.Pass, rng *ast.RangeStmt, parents []ast.Node) {
+	loopVars := loopVarObjects(pass, rng)
+	tainted := taintedLocals(pass, rng.Body, loopVars)
+	var sinks []sink
+
+	lintutil.Walk(rng.Body, func(n ast.Node, ps []ast.Node) {
+		// Nested function literals are their own world; calling one
+		// still runs in iteration order, but classifying their bodies
+		// here would double-count closures merely defined in the loop.
+		for _, p := range ps {
+			if _, isLit := p.(*ast.FuncLit); isLit {
+				return
+			}
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			sinks = append(sinks, classifyAssign(pass, rng, st, tainted, ps)...)
+		case *ast.CallExpr:
+			if s, bad := classifyCall(pass, rng, st); bad {
+				sinks = append(sinks, s)
+			}
+		case *ast.SendStmt:
+			sinks = append(sinks, sink{pos: st.Pos(), what: "sends on a channel in iteration order"})
+		case *ast.BranchStmt:
+			if st.Tok == token.BREAK && st.Label == nil && breaksThisLoop(rng, ps) {
+				sinks = append(sinks, sink{pos: st.Pos(), what: "breaks out of map iteration: which element is reached last depends on order"})
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if usesAny(pass, res, tainted) {
+					sinks = append(sinks, sink{pos: st.Pos(), what: "returns an iteration-derived value from inside map iteration: which element wins depends on order"})
+					break
+				}
+			}
+		}
+	})
+
+	if len(sinks) == 0 {
+		return
+	}
+	// Collect-then-sort exemption: every sink is an append to the same
+	// outer slice, and that slice is sorted later in the enclosing
+	// block.
+	if dst := soleAppendDst(sinks); dst != nil && sortedLater(pass, rng, parents, dst) {
+		return
+	}
+	extra := ""
+	if len(sinks) > 1 {
+		extra = " (and more)"
+	}
+	pass.Reportf(rng.Pos(), "map iteration order reaches an order-sensitive sink: body %s%s; sort the keys first, or restructure the body to be commutative", sinks[0].what, extra)
+}
+
+// loopVarObjects returns the objects bound by the range statement's
+// key and value variables.
+func loopVarObjects(pass *analysis.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = true // for k = range m with outer k
+			}
+		}
+	}
+	return out
+}
+
+// taintedLocals extends the loop variables with body-local variables
+// whose initializers derive from them, to a fixpoint, so `v2 := v;
+// out = v2` is still recognized as iteration-derived.
+func taintedLocals(pass *analysis.Pass, body *ast.BlockStmt, seed map[types.Object]bool) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	for o := range seed {
+		tainted[o] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || tainted[obj] || !declaredWithin(obj, body) {
+					continue
+				}
+				rhs := as.Rhs[0]
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				}
+				if usesAny(pass, rhs, tainted) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// classifyAssign reports the order-sensitive effects of one assignment
+// statement inside the loop body.
+func classifyAssign(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, tainted map[types.Object]bool, ps []ast.Node) []sink {
+	var out []sink
+	for i, lhs := range as.Lhs {
+		// Writes into maps are insertion-order independent; writes to
+		// loop-local variables die with the iteration.
+		if isMapIndex(pass, lhs) || isLoopLocal(pass, lhs, rng) {
+			continue
+		}
+		rhs := as.Rhs[0]
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		switch as.Tok {
+		case token.ASSIGN, token.DEFINE:
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+				if sameRoot(pass, lhs, call.Args[0]) {
+					out = append(out, sink{
+						pos:       as.Pos(),
+						what:      "appends to a slice that outlives the loop",
+						appendDst: rootObject(pass, lhs),
+					})
+					continue
+				}
+			}
+			if usesAny(pass, rhs, tainted) && !maxMinGuarded(pass, lhs, ps) {
+				out = append(out, sink{pos: as.Pos(), what: "overwrites an outer variable with an iteration-derived value (last writer wins)"})
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			t, ok := pass.TypesInfo.Types[lhs]
+			if !ok {
+				continue
+			}
+			b, isBasic := t.Type.Underlying().(*types.Basic)
+			if !isBasic {
+				continue
+			}
+			switch {
+			case b.Info()&types.IsString != 0:
+				out = append(out, sink{pos: as.Pos(), what: "concatenates strings in iteration order"})
+			case b.Info()&(types.IsFloat|types.IsComplex) != 0:
+				out = append(out, sink{pos: as.Pos(), what: "accumulates floating point in iteration order (float addition is not associative)"})
+			}
+			// Integer accumulation is commutative and associative.
+		}
+	}
+	return out
+}
+
+// writeMethods are method names that serialize bytes or entries in
+// call order.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Encode": true, "EncodeToken": true,
+}
+
+// emitMethods are tracing-layer methods that record an observable
+// event stream.
+var emitMethods = map[string]bool{"Event": true, "Start": true}
+
+// classifyCall reports whether call is an order-sensitive sink.
+func classifyCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) (sink, bool) {
+	if pkg, name, ok := lintutil.PkgFunc(pass.TypesInfo, call); ok {
+		if (pkg == "fmt" || pkg == "log") && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")) {
+			return sink{pos: call.Pos(), what: "prints in iteration order"}, true
+		}
+		return sink{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return sink{}, false
+	}
+	if _, isMethod := pass.TypesInfo.Selections[sel]; !isMethod {
+		return sink{}, false
+	}
+	if isLoopLocal(pass, sel.X, rng) {
+		return sink{}, false
+	}
+	if writeMethods[sel.Sel.Name] {
+		return sink{pos: call.Pos(), what: "writes bytes (" + sel.Sel.Name + ") in iteration order"}, true
+	}
+	if emitMethods[sel.Sel.Name] {
+		return sink{pos: call.Pos(), what: "emits trace events (" + sel.Sel.Name + ") in iteration order"}, true
+	}
+	return sink{}, false
+}
+
+// breaksThisLoop reports whether an unlabeled break at the given
+// ancestor stack targets rng rather than a nested loop/switch/select.
+// The stack is rooted at rng.Body, so exhausting it without crossing
+// another breakable statement means the break targets rng itself.
+func breaksThisLoop(rng *ast.RangeStmt, ps []ast.Node) bool {
+	for i := len(ps) - 1; i >= 0; i-- {
+		switch ps[i].(type) {
+		case *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false
+		case *ast.RangeStmt:
+			return ps[i] == rng
+		}
+	}
+	return true
+}
+
+// maxMinGuarded reports whether the assignment destination sits inside
+// an if whose condition reads a variable assigned within that if — the
+// running-max/min idiom, which is order-independent up to ties.
+func maxMinGuarded(pass *analysis.Pass, lhs ast.Expr, ps []ast.Node) bool {
+	var ifStmt *ast.IfStmt
+	for i := len(ps) - 1; i >= 0; i-- {
+		if s, ok := ps[i].(*ast.IfStmt); ok {
+			ifStmt = s
+			break
+		}
+		if _, ok := ps[i].(*ast.RangeStmt); ok {
+			break
+		}
+	}
+	if ifStmt == nil || ifStmt.Cond == nil {
+		return false
+	}
+	assigned := map[types.Object]bool{}
+	ast.Inspect(ifStmt.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if o := rootObject(pass, l); o != nil {
+				assigned[o] = true
+			}
+		}
+		return true
+	})
+	return usesAny(pass, ifStmt.Cond, assigned)
+}
+
+// soleAppendDst returns the single append destination if every sink is
+// an append to the same object, else nil.
+func soleAppendDst(sinks []sink) types.Object {
+	var dst types.Object
+	for _, s := range sinks {
+		if s.appendDst == nil {
+			return nil
+		}
+		if dst == nil {
+			dst = s.appendDst
+		} else if dst != s.appendDst {
+			return nil
+		}
+	}
+	return dst
+}
+
+// sortedLater reports whether, after rng in its enclosing block, dst
+// is passed to a sort.* / slices.Sort* call (directly or through a
+// type conversion like sort.Sort(byName(dst))).
+func sortedLater(pass *analysis.Pass, rng *ast.RangeStmt, parents []ast.Node, dst types.Object) bool {
+	var block []ast.Stmt
+	for i := len(parents) - 1; i >= 0; i-- {
+		if b, ok := parents[i].(*ast.BlockStmt); ok {
+			block = b.List
+			break
+		}
+	}
+	seen := false
+	for _, st := range block {
+		if st == ast.Stmt(rng) {
+			seen = true
+			continue
+		}
+		if ls, ok := st.(*ast.LabeledStmt); ok && ls.Stmt == ast.Stmt(rng) {
+			seen = true
+			continue
+		}
+		if !seen {
+			continue
+		}
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := lintutil.PkgFunc(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			isSortCall := pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort"))
+			if !isSortCall {
+				return true
+			}
+			for _, arg := range call.Args {
+				if rootObject(pass, arg) == dst {
+					found = true
+				}
+				// Conversions: sort.Sort(byCost(dst)).
+				if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+					if rootObject(pass, inner.Args[0]) == dst {
+						found = true
+					}
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// --- small predicates ---
+
+// sameRoot reports whether two expressions resolve to the same
+// non-nil root object (s and s in `s = append(s, ...)`).
+func sameRoot(pass *analysis.Pass, a, b ast.Expr) bool {
+	oa := rootObject(pass, a)
+	return oa != nil && oa == rootObject(pass, b)
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isMapIndex(pass *analysis.Pass, e ast.Expr) bool {
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isLoopLocal reports whether e's root identifier is declared inside
+// the loop body (or is a loop variable): state that dies with the
+// iteration cannot carry order dependence out of the loop.
+func isLoopLocal(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	obj := rootObject(pass, e)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+}
+
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+}
+
+// rootObject resolves e to the object of its leftmost identifier:
+// x.f[i].g roots at x.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := pass.TypesInfo.Uses[v]; o != nil {
+				return o
+			}
+			return pass.TypesInfo.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// usesAny reports whether expression e references any object in objs.
+func usesAny(pass *analysis.Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if o := pass.TypesInfo.Uses[id]; o != nil && objs[o] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,17 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"fsdinference/tools/simlint/analysis/analysistest"
+	"fsdinference/tools/simlint/passes/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer,
+		"maporder/a",
+		"maporder/sorted",
+		"maporder/commutative",
+		"maporder/suppressed",
+	)
+}

@@ -1,0 +1,81 @@
+// Package a exercises every maporder sink kind: each loop below feeds
+// map iteration order into an order-sensitive effect.
+package a
+
+import (
+	"fmt"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order reaches an order-sensitive sink: body appends to a slice that outlives the loop`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `body writes bytes \(WriteString\) in iteration order`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func printAndCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `body prints in iteration order \(and more\)`
+		fmt.Println(k)
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sendChan(m map[string]int, ch chan<- string) {
+	for k := range m { // want `body sends on a channel in iteration order`
+		ch <- k
+	}
+}
+
+func sumFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates floating point in iteration order`
+		sum += v
+	}
+	return sum
+}
+
+func concat(m map[string]int) string {
+	out := ""
+	for k := range m { // want `concatenates strings in iteration order`
+		out += k
+	}
+	return out
+}
+
+func lastWriter(m map[string]int) string {
+	var last string
+	for k := range m { // want `overwrites an outer variable with an iteration-derived value \(last writer wins\)`
+		last = k
+	}
+	return last
+}
+
+func earlyBreak(m map[string]int) int {
+	n := 0
+	for k := range m { // want `breaks out of map iteration`
+		if k == "stop" {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func firstValue(m map[string]int) int {
+	for _, v := range m { // want `returns an iteration-derived value from inside map iteration`
+		return v
+	}
+	return 0
+}

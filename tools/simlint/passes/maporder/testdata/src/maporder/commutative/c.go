@@ -1,0 +1,65 @@
+// Package commutative holds loop bodies that are order-independent by
+// construction: integer folds, bitmask folds, map writes, deletes,
+// max/min updates, and iteration-local state. simlint-fixture: clean
+package commutative
+
+import "fmt"
+
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sumInt(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func orBits(m map[string]uint64) uint64 {
+	var mask uint64
+	for _, v := range m {
+		mask |= v
+	}
+	return mask
+}
+
+func maxVal(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// perEntry formats into iteration-local state and writes it back into
+// a map; nothing order-dependent escapes the iteration.
+func perEntry(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		s := fmt.Sprintf("%s=%d", k, v)
+		out[k] = s
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Package sorted holds the canonical collect-then-sort idiom: the
+// loop only appends, and the destination is sorted before anything
+// order-sensitive consumes it. simlint-fixture: clean
+package sorted
+
+import "sort"
+
+func keys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func byValue(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return m[ks[i]] < m[ks[j]] })
+	return ks
+}
+
+type byLen []string
+
+func (s byLen) Len() int           { return len(s) }
+func (s byLen) Less(i, j int) bool { return len(s[i]) < len(s[j]) }
+func (s byLen) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// viaConversion sorts through a named sort.Interface wrapper, the
+// sort.Sort(byCost(dst)) shape used by the serving planner.
+func viaConversion(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Sort(byLen(ks))
+	return ks
+}

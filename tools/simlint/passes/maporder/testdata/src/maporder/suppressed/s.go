@@ -1,0 +1,12 @@
+// Package suppressed shows a reasoned maporder suppression.
+// simlint-fixture: clean
+package suppressed
+
+import "fmt"
+
+func debugDump(m map[string]int) {
+	//simlint:allow maporder — fixture: debug output whose line order is intentionally irrelevant
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,185 @@
+// Package spanend is the lostcancel of the tracing layer: every span
+// opened with Tracer.Start (or SpanRef.Child, or any Start* helper
+// returning an End-able handle) must be ended. An un-ended span never
+// reaches the exporter's finished list, so the trace silently loses an
+// interval — and because the loss depends on which code path ran, the
+// byte-identity guarantee between replay modes is the first casualty.
+//
+// The check is intraprocedural and deliberately conservative about
+// escapes: a handle that is returned, stored in a struct, passed to
+// another function, or assigned through anything but a plain local
+// variable is assumed to be ended by its new owner. What it catches is
+// the everyday leak: a span started, used for attributes, and dropped
+// on the floor of the function that created it.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fsdinference/tools/simlint/analysis"
+	"fsdinference/tools/simlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "require every span-producing Start*/Child call to be End()ed or handed off",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkScope(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkScope(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkScope examines the span-producing calls whose results are bound
+// directly in body (not in nested function literals, which get their
+// own checkScope visit).
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	lintutil.Walk(body, func(n ast.Node, parents []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSpanProducer(pass.TypesInfo, call) {
+			return
+		}
+		// Calls inside a nested FuncLit belong to that scope.
+		for i := len(parents) - 1; i >= 0; i-- {
+			if _, isLit := parents[i].(*ast.FuncLit); isLit {
+				return
+			}
+		}
+		stmtIdx := len(parents) - 1
+		for stmtIdx >= 0 {
+			if _, isStmt := parents[stmtIdx].(ast.Stmt); isStmt {
+				break
+			}
+			stmtIdx--
+		}
+		if stmtIdx < 0 {
+			return
+		}
+		// The call is "directly bound" only when its statement is an
+		// assignment whose sole RHS is the call, or a bare expression
+		// statement. Anything deeper (argument, return value, struct
+		// literal field) is an escape: someone else owns the handle.
+		switch stmt := parents[stmtIdx].(type) {
+		case *ast.ExprStmt:
+			if stmt.X == call {
+				pass.Reportf(call.Pos(), "result of %s dropped: the span can never be ended and will be missing from the trace", callName(call))
+			}
+		case *ast.AssignStmt:
+			if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 || stmt.Rhs[0] != call {
+				return // multi-assign or nested: treat as handed off
+			}
+			id, isIdent := stmt.Lhs[0].(*ast.Ident)
+			if !isIdent {
+				return // field/index destination: handed off
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "result of %s assigned to _: the span can never be ended", callName(call))
+				return
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				return
+			}
+			if !endedOrEscapes(pass, body, obj) {
+				pass.Reportf(call.Pos(), "span %s from %s is never ended in this function and never handed off", id.Name, callName(call))
+			}
+		}
+	})
+}
+
+// neutralMethods are SpanRef methods that neither end the span nor
+// transfer ownership of it.
+var neutralMethods = map[string]bool{"SetAttr": true, "SetAsync": true, "ID": true, "Active": true}
+
+// endedOrEscapes scans body (nested closures included — a deferred
+// closure calling v.End() counts) for a use of obj that ends it or
+// hands it off.
+func endedOrEscapes(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	done := false
+	lintutil.Walk(body, func(n ast.Node, parents []ast.Node) {
+		if done {
+			return
+		}
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || pass.TypesInfo.Uses[id] != obj {
+			return
+		}
+		if len(parents) == 0 {
+			return
+		}
+		sel, isSel := parents[len(parents)-1].(*ast.SelectorExpr)
+		if isSel && sel.X == id {
+			switch {
+			case sel.Sel.Name == "End":
+				done = true // v.End (called or deferred)
+			case neutralMethods[sel.Sel.Name]:
+				// annotation-only use; keep scanning
+			case sel.Sel.Name == "Child":
+				// derives a new span; does not end this one
+			default:
+				done = true // unknown method: assume it may consume the span
+			}
+			return
+		}
+		// Any non-selector use — argument, return, composite literal,
+		// assignment to something else, channel send — is a hand-off.
+		done = true
+	})
+	return done
+}
+
+// isSpanProducer reports whether call is a Start*/Child invocation
+// whose result type carries an End method.
+func isSpanProducer(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return false // conversion, not a call
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	if name != "Child" && !strings.HasPrefix(name, "Start") {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, isTuple := tv.Type.(*types.Tuple); isTuple {
+		return false
+	}
+	return lintutil.HasMethod(tv.Type, "End")
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return types.ExprString(fun.X) + "." + fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return "Start"
+}

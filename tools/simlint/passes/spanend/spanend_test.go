@@ -1,0 +1,15 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"fsdinference/tools/simlint/analysis/analysistest"
+	"fsdinference/tools/simlint/passes/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, "testdata", spanend.Analyzer,
+		"spanend/a",
+		"spanend/suppressed",
+	)
+}

@@ -1,0 +1,21 @@
+package a
+
+func dropped(tr Tracer) {
+	tr.Start("op") // want `result of tr\.Start dropped`
+}
+
+func blanked(tr Tracer) {
+	_ = tr.Start("op") // want `result of tr\.Start assigned to _`
+}
+
+func neverEnded(tr Tracer) {
+	s := tr.Start("op") // want `span s from tr\.Start is never ended in this function and never handed off`
+	s.SetAttr("k", "v")
+}
+
+func childNeverEnded(tr Tracer) {
+	s := tr.Start("op")
+	c := s.Child("sub") // want `span c from s\.Child is never ended in this function and never handed off`
+	c.SetAttr("k", "v")
+	s.End()
+}

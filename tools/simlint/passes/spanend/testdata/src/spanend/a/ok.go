@@ -1,0 +1,44 @@
+package a
+
+func deferred(tr Tracer) {
+	s := tr.Start("op")
+	defer s.End()
+	s.SetAttr("k", "v")
+}
+
+func deferredClosure(tr Tracer) {
+	s := tr.Start("op")
+	defer func() {
+		s.End()
+	}()
+}
+
+// returned hands the span to the caller, who owns ending it.
+func returned(tr Tracer) Ref {
+	return tr.Start("op")
+}
+
+func returnedVar(tr Tracer) Ref {
+	s := tr.Start("op")
+	s.SetAttr("k", "v")
+	return s
+}
+
+// passed hands the span to a helper.
+func passed(tr Tracer) {
+	finish(tr.Start("op"))
+}
+
+func passedVar(tr Tracer) {
+	s := tr.Start("op")
+	finish(s)
+}
+
+// stored parks the handle in a struct; the new owner ends it.
+type holder struct{ span Ref }
+
+func stored(tr Tracer, h *holder) {
+	h.span = tr.Start("op")
+}
+
+func finish(r Ref) { r.End() }

@@ -1,0 +1,29 @@
+// Package a exercises the walltime analyzer: every host-clock read or
+// host-timer construction is a hit; duration arithmetic and injected
+// simulated clocks are misses.
+package a
+
+import "time"
+
+func hits() {
+	_ = time.Now()                             // want `wall-clock call time\.Now`
+	_ = time.Since(time.Time{})                // want `wall-clock call time\.Since`
+	_ = time.Until(time.Time{})                // want `wall-clock call time\.Until`
+	time.Sleep(time.Millisecond)               // want `wall-clock call time\.Sleep`
+	_ = time.After(time.Second)                // want `wall-clock call time\.After`
+	_ = time.Tick(time.Second)                 // want `wall-clock call time\.Tick`
+	_ = time.NewTimer(time.Second)             // want `wall-clock call time\.NewTimer`
+	_ = time.NewTicker(time.Second)            // want `wall-clock call time\.NewTicker`
+	_ = time.AfterFunc(time.Second, func() {}) // want `wall-clock call time\.AfterFunc`
+}
+
+// misses: durations are values, not clock reads, and a clock function
+// handed in by the kernel is exactly the sanctioned alternative.
+func misses(clock func() time.Duration) time.Duration {
+	d := 5 * time.Millisecond
+	d += time.Duration(3) * time.Second
+	if d > time.Second {
+		d = time.Second
+	}
+	return clock() + d
+}

@@ -1,0 +1,9 @@
+package a
+
+import wall "time"
+
+// aliased proves the check resolves the import, not the identifier
+// spelling.
+func aliased() wall.Time {
+	return wall.Now() // want `wall-clock call time\.Now`
+}

@@ -1,0 +1,12 @@
+package a
+
+// fakeClock shadows nothing from package time; a Now method on a local
+// value must not be mistaken for the wall clock.
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+func notTime() int {
+	var clock fakeClock
+	return clock.Now()
+}

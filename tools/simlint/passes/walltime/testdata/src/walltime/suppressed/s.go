@@ -1,0 +1,30 @@
+// Package suppressed exercises the directive machinery end to end:
+// reasoned suppressions silence findings, bare or unknown-name
+// directives are themselves findings.
+package suppressed
+
+import "time"
+
+func reasonedAbove() {
+	//simlint:allow walltime — fixture: host-side timing of the run itself
+	_ = time.Now()
+}
+
+func reasonedSameLine() {
+	_ = time.Now() //simlint:allow walltime — fixture: reasoned on the same line
+}
+
+func reasonedDoubleHyphen() {
+	//simlint:allow walltime -- fixture: ascii separator works too
+	_ = time.Now()
+}
+
+func bare() {
+	//simlint:allow walltime // want `bare //simlint:allow walltime: suppressions must carry a reason`
+	_ = time.Now() // want `wall-clock call time\.Now`
+}
+
+func unknownName() {
+	//simlint:allow nosuchcheck — fixture: reason present but name wrong // want `unknown analyzer "nosuchcheck"`
+	_ = time.Now() // want `wall-clock call time\.Now`
+}

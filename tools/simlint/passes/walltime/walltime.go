@@ -1,0 +1,65 @@
+// Package walltime bans wall-clock reads outside the simulation
+// kernel. Every simulated outcome in this repo is a function of the
+// virtual clock (sim.Kernel.Now); a time.Now or time.Sleep inside
+// simulated code silently couples results to the host machine, which
+// is exactly the class of bug the byte-identity replay tests exist to
+// rule out.
+//
+// Host-side code that legitimately times the simulation itself (cmd/,
+// tools/, examples/ measuring how long a replay took to run) must
+// carry a reasoned //simlint:allow walltime directive; the analyzer
+// deliberately fires there too so every real-clock read in the module
+// is either kernel-owned or visibly justified.
+package walltime
+
+import (
+	"go/ast"
+
+	"fsdinference/tools/simlint/analysis"
+	"fsdinference/tools/simlint/internal/lintutil"
+)
+
+// banned are the package time functions that read or react to the
+// host clock. Constructors of durations (time.Duration arithmetic,
+// unit constants) are untouched: durations are values, clocks are
+// effects.
+var banned = map[string]string{
+	"Now":       "read the simulated clock (Kernel.Now / Kernel.Clock()) instead",
+	"Since":     "subtract simulated timestamps instead",
+	"Until":     "subtract simulated timestamps instead",
+	"Sleep":     "block on simulated time (Kernel.At / Proc.Sleep) instead",
+	"After":     "schedule on the kernel (Kernel.After) instead",
+	"Tick":      "schedule repeating work on the kernel instead",
+	"NewTimer":  "use the kernel's timers (Kernel.After) instead",
+	"NewTicker": "schedule repeating work on the kernel instead",
+	"AfterFunc": "schedule the callback on the kernel (Kernel.At) instead",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock reads (time.Now, time.Sleep, ...) outside the simulation kernel",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if lintutil.IsKernel(pass.Path) {
+		return nil // the kernel owns the mapping from host to virtual time
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := lintutil.PkgFunc(pass.TypesInfo, call)
+			if !ok || pkg != "time" {
+				return true
+			}
+			if hint, bad := banned[name]; bad {
+				pass.Reportf(call.Pos(), "wall-clock call time.%s outside the simulation kernel: %s", name, hint)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"fsdinference/tools/simlint/analysis/analysistest"
+	"fsdinference/tools/simlint/passes/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", walltime.Analyzer,
+		"walltime/a",
+		"walltime/internal/sim",
+		"walltime/suppressed",
+	)
+}
