@@ -4,7 +4,7 @@
 # BENCH_N is this PR's point on the perf trajectory: bump it each PR so
 # `make bench` appends a new BENCH_N.json and benchguard compares it
 # against the previous one.
-BENCH_N := 8
+BENCH_N := 9
 
 check: fmt vet build test lint
 

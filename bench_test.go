@@ -225,6 +225,54 @@ func BenchmarkServiceReplayTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceReplayMonitored is the same workload as
+// BenchmarkServiceReplay with the SLO monitor on: a 5m simulated-time
+// scrape over both endpoints feeding an availability SLO through the
+// default burn-rate rules. The delta against the untraced replay is the
+// monitoring overhead — scrape events on the kernel plus per-request
+// metric increments — which benchguard gates at no more than 10%.
+func BenchmarkServiceReplayMonitored(b *testing.B) {
+	mSmall, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(128, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mLarge, err := fsdinference.GenerateModel(fsdinference.GraphChallengeSpec(256, 6, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := fsdinference.WorkloadDay(40*8, []int{128, 256}, 8, 7)
+	spec := fsdinference.MonitorSpec{
+		Interval: 5 * time.Minute,
+		SLOs: []fsdinference.SLO{{
+			Name: "availability", Kind: fsdinference.Availability,
+			Window: 30 * 24 * time.Hour, Objective: 0.999,
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, err := fsdinference.NewService(fsdinference.NewEnv(),
+			fsdinference.WithEndpoint("small", mSmall),
+			fsdinference.WithEndpoint("large", mLarge),
+			fsdinference.WithCoalescing(64, 200*time.Millisecond),
+			fsdinference.WithReplicas(2),
+			fsdinference.WithMonitor(spec),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := svc.Replay(trace, fsdinference.ReplayOptions{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			b.Fatalf("%d failed queries", rep.Failed)
+		}
+		if len(svc.Monitor().Series("small")) == 0 {
+			b.Fatal("monitoring produced no series")
+		}
+	}
+}
+
 // BenchmarkMillionQueryReplay streams a one-million-query diurnal day
 // through a live endpoint end-to-end — streaming trace generation,
 // admission, coalescing, batched inference, incremental report folding —

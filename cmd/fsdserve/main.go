@@ -11,12 +11,26 @@
 //	         [-autoscale] [-max-replicas M] [-run-concurrency C]
 //	         [-admission fifo|priority|deadline]
 //	         [-trace out.json] [-trace-sample N]
+//	         [-monitor] [-slo SPEC]... [-monitor-interval D]
+//	         [-monitor-csv out.csv]
 //	         [-seed S] [-verify]
 //
 // With -trace, the replay records simulated-time spans (sampling one in
 // -trace-sample requests), writes a Perfetto-loadable Chrome trace to the
 // given path and prints a flame summary plus the metrics registry after
 // the report.
+//
+// With -monitor (or any -slo), the replay scrapes the metrics registry
+// every -monitor-interval of simulated time into per-endpoint series,
+// evaluates multi-window burn-rate rules against the given SLOs (each
+// -slo adds one; the default is availability@0.999 across endpoints) and
+// prints the alert log plus a Prometheus-style snapshot after the report.
+// Firing pages feed back into serving: endpoints re-plan or grow their
+// pool instead of waiting for drift triggers. -monitor-csv dumps the full
+// time-series. SLO syntax:
+//
+//	-slo 'latency:p99<=250ms@0.99,endpoint=n512,window=720h'
+//	-slo 'availability@0.999'
 package main
 
 import (
@@ -46,6 +60,11 @@ func main() {
 	coalesceDelay := flag.Duration("coalesce-delay", 100*time.Millisecond, "max wait before a coalescing batch closes")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto) and print flame/metrics summaries")
 	traceSample := flag.Int("trace-sample", 100, "trace one in N requests (with -trace; 1 traces all)")
+	monitorOn := flag.Bool("monitor", false, "scrape simulated-time SLO series and burn-rate alerts (implied by -slo)")
+	monInterval := flag.Duration("monitor-interval", time.Minute, "simulated-time scrape interval (with -monitor)")
+	monCSV := flag.String("monitor-csv", "", "write the monitor time-series as CSV (with -monitor)")
+	var sloArgs stringList
+	flag.Var(&sloArgs, "slo", "SLO spec, repeatable: latency:pNN<=DUR@OBJ or availability@OBJ, plus endpoint=,window=,name= options")
 	seed := flag.Int64("seed", 7, "trace and input seed")
 	verify := flag.Bool("verify", false, "check every output against reference inference")
 	flag.Parse()
@@ -83,6 +102,27 @@ func main() {
 	}
 	if *tracePath != "" {
 		opts = append(opts, fsdinference.WithTracing(*traceSample))
+	}
+	monitoring := *monitorOn || len(sloArgs) > 0
+	if monitoring {
+		var slos []fsdinference.SLO
+		for _, arg := range sloArgs {
+			slo, err := fsdinference.ParseSLO(arg)
+			if err != nil {
+				fatal("%v", err)
+			}
+			slos = append(slos, slo)
+		}
+		if len(slos) == 0 {
+			slos = append(slos, fsdinference.SLO{
+				Name: "availability", Kind: fsdinference.Availability,
+				Window: 30 * 24 * time.Hour, Objective: 0.999,
+			})
+		}
+		opts = append(opts, fsdinference.WithMonitor(fsdinference.MonitorSpec{
+			Interval: *monInterval,
+			SLOs:     slos,
+		}))
 	}
 	var epOpts []fsdinference.EndpointOption
 	if *workers > 1 {
@@ -145,6 +185,40 @@ func main() {
 		fmt.Println("\nmetrics:")
 		svc.Metrics().WriteText(os.Stdout)
 	}
+	if monitoring {
+		mon := svc.Monitor()
+		fmt.Printf("\nburn-rate alerts (scrape every %v of simulated time):\n", *monInterval)
+		if err := mon.WriteAlerts(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println("\nmonitor snapshot (prometheus text):")
+		if err := mon.WriteProm(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+		if *monCSV != "" {
+			f, err := os.Create(*monCSV)
+			if err != nil {
+				fatal("%v", err)
+			}
+			if err := mon.WriteCSV(f); err != nil {
+				fatal("writing monitor csv: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatal("writing monitor csv: %v", err)
+			}
+			fmt.Printf("\nwrote %s (one row per endpoint scrape window)\n", *monCSV)
+		}
+	}
+}
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ";") }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
 }
 
 func fatal(format string, args ...any) {

@@ -34,6 +34,7 @@ import (
 	"fsdinference/internal/experiments"
 	"fsdinference/internal/model"
 	"fsdinference/internal/obs"
+	"fsdinference/internal/obs/monitor"
 	"fsdinference/internal/partition"
 	"fsdinference/internal/plan"
 	"fsdinference/internal/serve"
@@ -398,6 +399,74 @@ type (
 // WithTracing enables the service's simulated-time tracer and metrics
 // registry, sampling one in sampleEvery requests (<= 1 samples all).
 func WithTracing(sampleEvery int) ServiceOption { return serve.WithTracing(sampleEvery) }
+
+// Monitoring (internal/obs/monitor): a simulated-time SLO monitor over
+// the metrics registry. WithMonitor schedules scrapes as kernel events on
+// a fixed virtual-clock interval, folds each scrape into ring-buffered
+// per-endpoint time-series (RPS, windowed p95/p99, queue depth, shed and
+// reroute counts, KV failovers, pool size), evaluates multi-window
+// burn-rate rules against the spec's SLOs, and — unless the spec is
+// Passive — feeds firing pages back into the serving layer: an SLO
+// endpoint re-plans immediately with a latency-biased objective and a
+// fixed endpoint gets an emergency replica. Scrapes ride the kernel, so
+// single, laned and streamed replays export byte-identical series and
+// alert logs; with monitoring off every hook is one pointer check:
+//
+//	spec := fsdinference.MonitorSpec{
+//		Interval: 30 * time.Second,
+//		SLOs: []fsdinference.SLO{{
+//			Name: "p99", Kind: fsdinference.LatencyQuantile,
+//			Target: 250 * time.Millisecond, Window: 720 * time.Hour, Objective: 0.99,
+//		}},
+//	}
+//	svc, _ := fsdinference.NewService(env, ..., fsdinference.WithMonitor(spec))
+//	rep, _ := svc.Replay(trace, fsdinference.ReplayOptions{Seed: 7})
+//	svc.Monitor().WriteProm(os.Stdout)   // Prometheus-style text
+//	svc.Monitor().WriteCSV(os.Stdout)    // per-window time-series
+//	svc.Monitor().WriteAlerts(os.Stdout) // burn-rate alert transitions
+type (
+	// ServiceMonitor is the simulated-time SLO monitor; obtain one from
+	// Service.Monitor after WithMonitor.
+	ServiceMonitor = monitor.Monitor
+	// MonitorSpec configures the monitor: scrape interval, SLOs,
+	// burn-rate rules and the passive switch.
+	MonitorSpec = monitor.Spec
+	// SLO is one service-level objective the monitor alerts on.
+	SLO = monitor.SLO
+	// SLOKind selects what an SLO counts as a bad event.
+	SLOKind = monitor.ObjectiveKind
+	// BurnRule is one multi-window burn-rate alert rule.
+	BurnRule = monitor.BurnRule
+	// AlertEvent is one alert transition (a rule starting or stopping
+	// to fire), stamped with its simulated window boundary.
+	AlertEvent = monitor.AlertEvent
+	// AlertSeverity ranks an alert: page or ticket.
+	AlertSeverity = monitor.Severity
+	// MonitorSample is one scraped window of an endpoint's time-series.
+	MonitorSample = monitor.Sample
+	// EndpointHealth is the monitor's per-endpoint health state.
+	EndpointHealth = monitor.Health
+)
+
+// Re-exported monitor constants.
+const (
+	LatencyQuantile = monitor.LatencyQuantile
+	Availability    = monitor.Availability
+	PageAlert       = monitor.Page
+	TicketAlert     = monitor.Ticket
+)
+
+// WithMonitor enables the simulated-time SLO monitor (and the metrics
+// registry it scrapes) under the given spec.
+func WithMonitor(spec MonitorSpec) ServiceOption { return serve.WithMonitor(spec) }
+
+// DefaultBurnRules returns the classic multi-window pair: a fast 5m/1h
+// page at 14.4× burn and a slow 30m/6h ticket at 6×.
+func DefaultBurnRules() []BurnRule { return monitor.DefaultRules() }
+
+// ParseSLO parses the fsdserve -slo flag syntax, e.g.
+// "latency:p99<=250ms@0.99,endpoint=large" or "availability@0.999".
+func ParseSLO(s string) (SLO, error) { return monitor.ParseSLO(s) }
 
 // WithSLO lets an endpoint pick its channel and worker parallelism at
 // deploy time via the workload-aware Planner, given latency/cost

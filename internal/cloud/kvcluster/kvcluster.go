@@ -65,6 +65,12 @@ type Config struct {
 	// on per-shard tracks, MOVED redirects become instants. The zero
 	// scope disables it.
 	Trace obs.Scope
+	// FailoverCounter and LostValuesCounter, when set, count failovers
+	// and lost values into the owning endpoint's metrics registry so the
+	// SLO monitor can attribute KV availability incidents per endpoint
+	// (the obs counters are nil-safe, so the zero Config stays valid).
+	FailoverCounter   *obs.Counter
+	LostValuesCounter *obs.Counter
 }
 
 func (c Config) withDefaults() Config {
@@ -437,6 +443,8 @@ func (c *Cluster) KillNode(shardIdx int) error {
 	}
 	c.failovers++
 	c.lostValues += lost
+	c.cfg.FailoverCounter.Inc()
+	c.cfg.LostValuesCounter.Add(lost)
 	m := c.kv.Meter()
 	m.KVFailovers++
 	m.KVLostValues += lost

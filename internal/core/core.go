@@ -217,6 +217,14 @@ type Config struct {
 	// runs the tracer sampled. The zero scope disables engine tracing at
 	// the cost of one pointer check per hook.
 	Trace obs.Scope
+
+	// KVFailoverCounter and KVLostValuesCounter thread the serving
+	// layer's per-endpoint metrics counters down to the KV cluster, so
+	// shard failovers and lost values are attributed to the endpoint
+	// whose deployment owns the cluster (nil-safe; zero when metrics are
+	// off).
+	KVFailoverCounter   *obs.Counter
+	KVLostValuesCounter *obs.Counter
 }
 
 // withDefaults fills zero fields.

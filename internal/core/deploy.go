@@ -152,13 +152,15 @@ func Deploy(e *env.Env, cfg Config) (*Deployment, error) {
 		// deployment buys throughput with shards and availability with
 		// replica node-hours.
 		cl, err := kvcluster.New(e.KV, kvcluster.Config{
-			Name:           prefix + "-kv",
-			Shards:         cfg.KVNodes,
-			Replicas:       cfg.KVReplicas,
-			NodeType:       cfg.KVNodeType,
-			FailoverWindow: cfg.KVFailoverWindow,
-			ReplicationLag: cfg.KVReplicationLag,
-			Trace:          cfg.Trace.Sub("kv"),
+			Name:              prefix + "-kv",
+			Shards:            cfg.KVNodes,
+			Replicas:          cfg.KVReplicas,
+			NodeType:          cfg.KVNodeType,
+			FailoverWindow:    cfg.KVFailoverWindow,
+			ReplicationLag:    cfg.KVReplicationLag,
+			Trace:             cfg.Trace.Sub("kv"),
+			FailoverCounter:   cfg.KVFailoverCounter,
+			LostValuesCounter: cfg.KVLostValuesCounter,
 		})
 		if err != nil {
 			return nil, err

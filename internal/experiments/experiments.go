@@ -172,6 +172,7 @@ func Registry() []Runner {
 		{"channels", "Three-way channel comparison incl. provisioned memory store", ChannelComparison},
 		{"cluster", "Sharded, replicated memory-store cluster: throughput scaling and failover", ClusterScaling},
 		{"planner", "Workload-aware planner vs static one-shot selection (Sec. VI-D1)", PlannerSelection},
+		{"slomonitor", "Burn-rate alert-driven re-planning vs break-even drift on a flash crowd", SLOMonitorControl},
 		{"collectives", "Collective topologies vs P, and hybrid channel selection", CollectivesExperiment},
 		{"table2", "Per-sample runtime of serverless variants (Table II)", Table2PerSample},
 		{"table3", "HGP-DNN vs random partitioning (Table III)", Table3Partitioning},

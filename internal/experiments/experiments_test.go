@@ -530,3 +530,46 @@ func TestCollectivesShape(t *testing.T) {
 		t.Fatalf("prune pick did not select the tree collective: %q", ppick)
 	}
 }
+
+func TestSLOMonitorAlertBeatsDrift(t *testing.T) {
+	// The monitor's acceptance bar: on the flash crowd the burn-rate
+	// page must fire within two scrape intervals of the crowd's onset,
+	// the alert-driven re-plan must land before the drift arm's
+	// break-even crossing, and acting on the page must cut simulated
+	// time in SLO violation.
+	tab := table(t, "slomonitor")
+	driftReplan := cellFloat(t, tab, "drift-only", "first replan (s)")
+	alertReplan := cellFloat(t, tab, "alert-driven", "first replan (s)")
+	if alertReplan >= driftReplan {
+		t.Fatalf("alert-driven replan at %.0fs not before drift replan at %.0fs", alertReplan, driftReplan)
+	}
+	page := cellFloat(t, tab, "alert-driven", "page (s)")
+	const crowd, interval = 600, 15
+	if page < crowd || page > crowd+2*interval {
+		t.Fatalf("page at %.0fs, want within two scrapes of the crowd at %ds", page, crowd)
+	}
+	if alertReplan != page {
+		t.Fatalf("alert-driven replan at %.0fs did not ride the page at %.0fs", alertReplan, page)
+	}
+	trigger, _ := tab.Cell("alert-driven", "trigger")
+	if !strings.Contains(trigger, "slo alert") {
+		t.Fatalf("alert-driven trigger %q is not the SLO alert", trigger)
+	}
+	trigger, _ = tab.Cell("drift-only", "trigger")
+	if !strings.Contains(trigger, "break-even") {
+		t.Fatalf("drift-only trigger %q is not the break-even crossing", trigger)
+	}
+	driftViol := cellFloat(t, tab, "drift-only", "violation (s)")
+	alertViol := cellFloat(t, tab, "alert-driven", "violation (s)")
+	if alertViol <= 0 || driftViol <= 0 {
+		t.Fatalf("both arms must spend time in violation: drift %.0fs, alert %.0fs", driftViol, alertViol)
+	}
+	if alertViol >= driftViol {
+		t.Fatalf("alert-driven violation %.0fs not below drift-only %.0fs", alertViol, driftViol)
+	}
+	// The passive arm still pages — observation is identical, only the
+	// sink differs.
+	if p := cellFloat(t, tab, "drift-only", "page (s)"); p != page {
+		t.Fatalf("passive page at %.0fs diverged from active %.0fs", p, page)
+	}
+}

@@ -200,6 +200,12 @@ func (t *Tracer) WriteFlame(w io.Writer) error {
 		"span", "kind", "count", "total", "mean", "max"); err != nil {
 		return err
 	}
+	if len(rows) == 0 {
+		// Sampling can filter out every request of a small replay; say so
+		// instead of emitting a bare header that reads like lost data.
+		_, err := fmt.Fprintln(w, "(no sampled spans — every request fell outside the sampling stride; lower the sampling interval)")
+		return err
+	}
 	for _, r := range rows {
 		mean := r.total / time.Duration(r.count)
 		if _, err := fmt.Fprintf(w, "%-16s %-8s %8d %14v %14v %14v\n",

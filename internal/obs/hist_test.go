@@ -79,24 +79,27 @@ func TestHistOverflowBucket(t *testing.T) {
 	}
 }
 
-// TestBucketMonotonic sweeps the bucket math: indices never decrease with
-// the value, the upper bound always covers the value, and the relative
-// rounding error stays within one sub-bucket (~1/16 of a decade).
+// TestBucketMonotonic sweeps the bucket math at every supported
+// geometry: indices never decrease with the value, the upper bound
+// always covers the value, and the relative rounding error stays within
+// one sub-bucket of its decade.
 func TestBucketMonotonic(t *testing.T) {
-	prev := -1
-	for _, v := range sweepDurations() {
-		idx := bucketOf(v)
-		if idx < prev {
-			t.Fatalf("bucketOf(%d) = %d < previous %d", v, idx, prev)
-		}
-		prev = idx
-		ub := upperBound(idx)
-		if ub < v {
-			t.Fatalf("upperBound(bucketOf(%d)) = %d < value", v, ub)
-		}
-		if v >= 32 { // past the linear head the bound is within 1/16
-			if float64(ub-v) > float64(v)/8 {
-				t.Fatalf("bound %d too loose for %d", ub, v)
+	for _, sub := range []int{1, 2, 4, 8, 16} {
+		prev := -1
+		for _, v := range sweepDurations() {
+			idx := bucketOf(v, sub)
+			if idx < prev {
+				t.Fatalf("sub=%d: bucketOf(%d) = %d < previous %d", sub, v, idx, prev)
+			}
+			prev = idx
+			ub := upperBound(idx, sub)
+			if ub < v {
+				t.Fatalf("sub=%d: upperBound(bucketOf(%d)) = %d < value", sub, v, ub)
+			}
+			if sub == 16 && v >= 32 { // past the linear head the bound is within 1/16
+				if float64(ub-v) > float64(v)/8 {
+					t.Fatalf("bound %d too loose for %d", ub, v)
+				}
 			}
 		}
 	}
@@ -146,5 +149,113 @@ func TestHistMerge(t *testing.T) {
 	empty.Merge(&whole)
 	if empty.Min() != whole.Min() || empty.Max() != whole.Max() {
 		t.Errorf("empty-merge min/max wrong: %v/%v", empty.Min(), empty.Max())
+	}
+}
+
+// TestHistMergeGeometryMismatch: merging histograms with different
+// sub-bucket resolutions used to fold counts into the wrong decades
+// silently; it must panic instead. An empty default-geometry receiver
+// (the registry's zero value) still adopts the argument's geometry.
+func TestHistMergeGeometryMismatch(t *testing.T) {
+	coarse := NewHistogram(4)
+	fine := NewHistogram(16)
+	coarse.Observe(3 * time.Millisecond)
+	fine.Observe(5 * time.Millisecond)
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: mismatched geometry did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Merge fine into coarse", func() { coarse.Merge(fine) })
+	mustPanic("Merge coarse into fine", func() { fine.Merge(coarse) })
+	snap := *fine
+	mustPanic("Delta across geometries", func() { coarse.Delta(&snap) })
+
+	// A zero-value (default-geometry) empty receiver adopts the
+	// argument's geometry rather than panicking — registry folds start
+	// from zero values.
+	var zero Histogram
+	zero.Merge(coarse)
+	if zero.Count() != 1 || zero.Quantile(50) != coarse.Quantile(50) {
+		t.Errorf("empty zero-value merge: count=%d p50=%v, want 1/%v",
+			zero.Count(), zero.Quantile(50), coarse.Quantile(50))
+	}
+	mustPanic("adopted geometry then mismatch", func() { zero.Merge(fine) })
+
+	// Same-geometry non-default merges still work.
+	c2 := NewHistogram(4)
+	c2.Observe(7 * time.Millisecond)
+	coarse.Merge(c2)
+	if coarse.Count() != 2 {
+		t.Errorf("same-geometry merge count = %d, want 2", coarse.Count())
+	}
+}
+
+// TestHistDelta: a snapshot copy plus Delta recovers exactly the
+// observations made in between, with bucket-identical quantiles and
+// bucket-derived (lane-order-independent) min/max.
+func TestHistDelta(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	snap := h // plain struct copy is the snapshot
+	var want Histogram
+	for i := 101; i <= 250; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		h.Observe(d)
+		want.Observe(d)
+	}
+	delta := h.Delta(&snap)
+	if delta.Count() != want.Count() || delta.Sum() != want.Sum() {
+		t.Fatalf("delta count/sum = %d/%v, want %d/%v",
+			delta.Count(), delta.Sum(), want.Count(), want.Sum())
+	}
+	for _, p := range []int{50, 95, 99} {
+		if delta.Quantile(p) > want.Quantile(p)+want.Quantile(p)/8 ||
+			delta.Quantile(p) < want.Quantile(p)-want.Quantile(p)/8 {
+			t.Errorf("delta p%d = %v, want ~%v", p, delta.Quantile(p), want.Quantile(p))
+		}
+	}
+	// Min/max are bucket bounds, not exact extremes: still ordered and
+	// covering.
+	if delta.Min() > delta.Max() || delta.Max() < want.Max() {
+		t.Errorf("delta min/max = %v/%v, want max ≥ %v", delta.Min(), delta.Max(), want.Max())
+	}
+	// An idle interval deltas to empty.
+	idle := h
+	if d := h.Delta(&idle); d.Count() != 0 {
+		t.Errorf("idle delta count = %d, want 0", d.Count())
+	}
+}
+
+// TestHistCountAtMost: the good/bad split the SLO monitor uses is
+// bucket-granular and exact at bucket upper bounds.
+func TestHistCountAtMost(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 64; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.CountAtMost(-1); got != 0 {
+		t.Errorf("CountAtMost(-1) = %d", got)
+	}
+	if got := h.CountAtMost(time.Hour); got != 64 {
+		t.Errorf("CountAtMost(1h) = %d, want 64", got)
+	}
+	// At a quantile (a bucket upper bound) the count covers at least the
+	// nearest rank, and never exceeds the total.
+	p95 := h.Quantile(95)
+	got := h.CountAtMost(p95)
+	if got < 61 || got > 64 {
+		t.Errorf("CountAtMost(p95=%v) = %d, want ~61..64", p95, got)
+	}
+	// Monotonic in the threshold.
+	if h.CountAtMost(10*time.Millisecond) > h.CountAtMost(20*time.Millisecond) {
+		t.Error("CountAtMost not monotonic")
 	}
 }

@@ -359,6 +359,25 @@ func (p *Planner) Replan(observed WorkloadProfile) (*Decision, error) {
 	return p.decide(observed)
 }
 
+// ReplanWith is Replan under a one-off objective override: the cached
+// trial measurements are re-scored and re-ranked under obj for this
+// decision only, then the planner's configured objective is restored.
+// The serving layer's alert-driven control path uses it to bias a
+// re-plan toward latency while an SLO's error budget is burning, without
+// permanently changing the endpoint's cost/latency trade-off.
+func (p *Planner) ReplanWith(observed WorkloadProfile, obj Objective) (*Decision, error) {
+	if p.last == nil {
+		return nil, fmt.Errorf("plan: ReplanWith before Plan")
+	}
+	if obj == nil {
+		return p.decide(observed)
+	}
+	prev := p.opts.Objective
+	p.opts.Objective = obj
+	defer func() { p.opts.Objective = prev }()
+	return p.decide(observed)
+}
+
 // Last returns the planner's most recent decision (nil before Plan).
 func (p *Planner) Last() *Decision { return p.last }
 

@@ -156,22 +156,29 @@ func (s *Service) ReplayLanes(lanes int, trace []workload.Query, opts ReplayOpti
 	return s.mergeLaneReports(reps, lats), nil
 }
 
-// absorbObs folds the lanes' tracers and metric registries into the
-// receiver's, so a laned replay exposes the same observability surface
-// as a shared-kernel one. Spans are appended in lane order; the Chrome
-// exporter's canonical (time, rendered-event) ordering makes the final
-// output independent of which lane recorded a span, which is what the
-// byte-identical-trace contract rests on.
+// absorbObs folds the lanes' tracers, metric registries and SLO monitors
+// into the receiver's, so a laned replay exposes the same observability
+// surface as a shared-kernel one. Spans are appended in lane order; the
+// Chrome exporter's canonical (time, rendered-event) ordering makes the
+// final output independent of which lane recorded a span, which is what
+// the byte-identical-trace contract rests on. Monitor series merge by
+// (endpoint, window index) — lanes own disjoint endpoint sets — and the
+// alert logs concatenate; the monitor's canonical alert ordering does the
+// rest.
 func (s *Service) absorbObs(lanes []*Service) {
-	if s.trace == nil {
-		return
-	}
 	for _, lane := range lanes {
 		if lane == nil {
 			continue
 		}
-		s.trace.Merge(lane.trace)
-		s.metrics.Merge(lane.metrics)
+		if s.trace != nil {
+			s.trace.Merge(lane.trace)
+		}
+		if s.metrics != nil {
+			s.metrics.Merge(lane.metrics)
+		}
+		if s.mon != nil {
+			s.mon.Absorb(lane.mon)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"fsdinference/internal/core"
 	"fsdinference/internal/obs"
+	"fsdinference/internal/obs/monitor"
 )
 
 // epMetrics caches one endpoint's registry instruments at build time so
@@ -13,14 +14,18 @@ type epMetrics struct {
 	reg  *obs.Registry
 	name string
 
-	requests   *obs.Counter // resolved requests, completed + failed + shed
-	failures   *obs.Counter // requests resolved with an error (incl. shed)
-	shed       *obs.Counter
-	coldStarts *obs.Counter
-	warmStarts *obs.Counter
-	failedRuns *obs.Counter
-	queueDepth *obs.Gauge
-	latency    *obs.Histogram
+	requests     *obs.Counter // resolved requests, completed + failed + shed
+	failures     *obs.Counter // requests resolved with an error (incl. shed)
+	shed         *obs.Counter
+	rerouted     *obs.Counter // requests handed to a least-loaded sibling
+	coldStarts   *obs.Counter
+	warmStarts   *obs.Counter
+	failedRuns   *obs.Counter
+	kvFailovers  *obs.Counter // shard failovers of this endpoint's KV clusters
+	kvLostValues *obs.Counter
+	queueDepth   *obs.Gauge
+	poolSize     *obs.Gauge // live replica-pool size
+	latency      *obs.Histogram
 
 	// runsByChannel labels run counts with the channel the run actually
 	// executed on — an SLO re-plan can change it mid-replay, hence the
@@ -35,12 +40,41 @@ func newEpMetrics(reg *obs.Registry, name string) *epMetrics {
 		requests:      reg.Counter("requests_total", "endpoint", name),
 		failures:      reg.Counter("request_failures_total", "endpoint", name),
 		shed:          reg.Counter("requests_shed_total", "endpoint", name),
+		rerouted:      reg.Counter("requests_rerouted_total", "endpoint", name),
 		coldStarts:    reg.Counter("cold_starts_total", "endpoint", name),
 		warmStarts:    reg.Counter("warm_starts_total", "endpoint", name),
 		failedRuns:    reg.Counter("run_failures_total", "endpoint", name),
+		kvFailovers:   reg.Counter("kv_failovers_total", "endpoint", name),
+		kvLostValues:  reg.Counter("kv_lost_values_total", "endpoint", name),
 		queueDepth:    reg.Gauge("queue_depth", "endpoint", name),
+		poolSize:      reg.Gauge("replica_pool_size", "endpoint", name),
 		latency:       reg.Histogram("request_latency_ns", "endpoint", name),
 		runsByChannel: make(map[core.ChannelKind]*obs.Counter),
+	}
+}
+
+// setPoolSize is the nil-safe pool-size gauge update on scale events.
+func (m *epMetrics) setPoolSize(n int) {
+	if m != nil {
+		m.poolSize.Set(float64(n))
+	}
+}
+
+// target wires the endpoint's instruments into the SLO monitor.
+func (m *epMetrics) target() monitor.Target {
+	return monitor.Target{
+		Endpoint:     m.name,
+		Requests:     m.requests,
+		Failures:     m.failures,
+		Shed:         m.shed,
+		Rerouted:     m.rerouted,
+		ColdStarts:   m.coldStarts,
+		WarmStarts:   m.warmStarts,
+		KVFailovers:  m.kvFailovers,
+		KVLostValues: m.kvLostValues,
+		Latency:      m.latency,
+		QueueDepth:   m.queueDepth,
+		Replicas:     m.poolSize,
 	}
 }
 

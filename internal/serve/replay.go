@@ -221,6 +221,12 @@ func (s *Service) replayStart(route func() ([]routedQuery, error), opts ReplayOp
 // tails included.
 func (s *Service) replayFinish(run *replayRun, opts ReplayOptions, endAt time.Duration) (*Report, []time.Duration, error) {
 	if endAt > s.Now() {
+		if s.mon != nil {
+			// Arm catch-up scrapes as kernel events up to the global end,
+			// so a lane that drained early finalizes the same windows at
+			// the same simulated instants as the single-kernel replay.
+			s.mon.RunTo(endAt)
+		}
 		s.env.K.At(endAt-s.Now(), func() {})
 		if err := s.Run(); err != nil {
 			return nil, nil, err

@@ -282,6 +282,7 @@ func (sc *scheduler) evaluatePool() {
 		sc.pool[victim].d.Decommission()
 		sc.pool = append(sc.pool[:victim], sc.pool[victim+1:]...)
 		sc.ep.stats.ScaleDowns++
+		sc.ep.met.setPoolSize(len(sc.pool))
 	}
 	// Still above target: some idle replicas are inside the grace period.
 	// Arm a re-check at the earliest time one becomes reclaimable.
@@ -318,6 +319,23 @@ func (sc *scheduler) addReplica(now time.Duration) {
 	sc.accrue(now)
 	rep.lastUsed, rep.idleSince = now, now
 	sc.pool = append(sc.pool, rep)
+	sc.ep.met.setPoolSize(len(sc.pool))
+}
+
+// alertBoost is the alert-driven action for an endpoint without a
+// planner: deploy one emergency replica immediately, metered like any
+// scale-up. The scaling policy is not consulted — it already decided the
+// current size and the burning error budget says that was not enough —
+// but it reclaims the extra replica through the normal idle-grace path
+// once the pressure passes.
+func (sc *scheduler) alertBoost() {
+	now := sc.now()
+	sc.addReplica(now)
+	sc.ep.stats.ScaleUps++
+	if len(sc.pool) > sc.ep.stats.PeakReplicas {
+		sc.ep.stats.PeakReplicas = len(sc.pool)
+	}
+	sc.dispatch()
 }
 
 // pickReplica returns the replica the next run should land on: the most
@@ -400,6 +418,9 @@ func (sc *scheduler) shed(r *request, now time.Duration) {
 			r.rerouted = true
 			r.span.SetAttr("rerouted", alt.name)
 			sc.ep.stats.Rerouted++
+			if m := sc.ep.met; m != nil {
+				m.rerouted.Inc()
+			}
 			alt.sched.admit(r)
 			return
 		}

@@ -33,6 +33,7 @@ import (
 	"fsdinference/internal/core"
 	"fsdinference/internal/model"
 	"fsdinference/internal/obs"
+	"fsdinference/internal/obs/monitor"
 	"fsdinference/internal/partition"
 	"fsdinference/internal/plan"
 	"fsdinference/internal/sparse"
@@ -76,6 +77,8 @@ type serviceConfig struct {
 	runConc    int
 	tracing    bool
 	traceEvery int
+	monitoring bool
+	monSpec    monitor.Spec
 	eps        []*endpointConfig
 	err        error
 }
@@ -137,6 +140,20 @@ func WithRunConcurrency(n int) Option {
 // own kernel clock and the lanes merge afterwards.
 func WithTracing(sampleEvery int) Option {
 	return func(c *serviceConfig) { c.tracing = true; c.traceEvery = sampleEvery }
+}
+
+// WithMonitor enables the simulated-time SLO monitor (internal/obs/
+// monitor): the metrics registry is turned on (tracing stays off unless
+// WithTracing is also applied), every endpoint's instruments are
+// registered as a scrape target, and replays drive the scrape loop as
+// kernel events. Unless spec.Passive is set, a firing page-severity
+// burn-rate alert also closes the control loop — an SLO endpoint
+// re-plans immediately instead of waiting for the break-even drift
+// trigger, and a fixed endpoint gets an emergency replica. Like
+// WithTracing, the option carries configuration: each replay lane builds
+// a monitor bound to its own kernel and the lanes merge afterwards.
+func WithMonitor(spec monitor.Spec) Option {
+	return func(c *serviceConfig) { c.monitoring = true; c.monSpec = spec }
 }
 
 // WithEndpoint registers a named model endpoint.
@@ -244,10 +261,13 @@ type Service struct {
 	// failed kernel run can surface its error on all of them.
 	pending map[*Handle]struct{}
 
-	// trace and metrics are nil unless WithTracing was applied; every hot
-	// path guards on the nil, which is the whole cost of tracing-off.
+	// trace is nil unless WithTracing was applied; metrics is nil unless
+	// WithTracing or WithMonitor was; mon is nil unless WithMonitor was.
+	// Every hot path guards on the nil, which is the whole cost of the
+	// observability-off mode.
 	trace   *obs.Tracer
 	metrics *obs.Registry
+	mon     *monitor.Monitor
 	// submitSeq numbers interactive Submits for sampling. Replay paths
 	// bypass it and sample on the query's trace index instead, which is
 	// what makes lane-vs-single traces identical.
@@ -428,7 +448,22 @@ func newService(e *env.Env, keep func(name string) bool, opts ...Option) (*Servi
 		// traced too. The tracer reads this environment's kernel clock,
 		// so each lane clone gets one bound to its own kernel.
 		s.trace = obs.New(e.K.Clock(), cfg.traceEvery)
+	}
+	if cfg.tracing || cfg.monitoring {
 		s.metrics = obs.NewRegistry()
+	}
+	if cfg.monitoring {
+		// The monitor scrapes on this environment's kernel, so each lane
+		// clone gets one bound to its own kernel; the chain stays alive
+		// only while requests are in flight, which is what lets the
+		// kernel drain.
+		mon, err := monitor.New(cfg.monSpec, e.K.Clock(),
+			func(d time.Duration, fn func()) { e.K.At(d, fn) },
+			func() bool { return len(s.pending) > 0 })
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.mon = mon
 	}
 	for _, ec := range cfg.eps {
 		ep, err := s.buildEndpoint(ec, cfg)
@@ -439,7 +474,29 @@ func newService(e *env.Env, keep func(name string) bool, opts ...Option) (*Servi
 		s.byName[ep.name] = ep
 		s.byNeuronsAll[ep.m.Spec.Neurons] = append(s.byNeuronsAll[ep.m.Spec.Neurons], ep)
 	}
+	if s.mon != nil {
+		for _, ep := range s.eps {
+			s.mon.Register(ep.met.target())
+		}
+		if !cfg.monSpec.Passive {
+			s.mon.Subscribe(s.onAlert)
+		}
+	}
 	return s, nil
+}
+
+// onAlert closes the monitor→control loop: a page-severity burn-rate
+// alert starting to fire triggers an immediate, alert-driven re-plan on
+// an SLO endpoint (bypassing the MinRuns drift gate) or an emergency
+// replica on a fixed one. It runs inside the scrape's kernel event, so
+// the action lands at the same simulated instant in every replay mode.
+func (s *Service) onAlert(ev monitor.AlertEvent) {
+	if !ev.Firing || ev.Severity != monitor.Page {
+		return
+	}
+	if ep := s.byName[ev.Endpoint]; ep != nil {
+		ep.alertReplan(ev)
+	}
 }
 
 func (s *Service) buildEndpoint(ec *endpointConfig, cfg *serviceConfig) (*Endpoint, error) {
@@ -565,6 +622,7 @@ func (s *Service) buildEndpoint(ec *endpointConfig, cfg *serviceConfig) (*Endpoi
 		ep.sched.pool = append(ep.sched.pool, rep)
 	}
 	ep.stats.PeakReplicas = len(ep.sched.pool)
+	ep.met.setPoolSize(len(ep.sched.pool))
 	return ep, nil
 }
 
@@ -579,6 +637,12 @@ func (ep *Endpoint) deployReplica() (*replica, error) {
 	if t := ep.svc.trace; t != nil {
 		track = fmt.Sprintf("%s/r%d", ep.name, ep.replicaSeq)
 		dcfg.Trace = obs.Scope{T: t, Track: track}
+	}
+	if m := ep.met; m != nil {
+		// Thread the endpoint's KV instruments down to the deployment's
+		// kvclusters so shard failovers land in the scrapeable registry.
+		dcfg.KVFailoverCounter = m.kvFailovers
+		dcfg.KVLostValuesCounter = m.kvLostValues
 	}
 	ep.replicaSeq++
 	d, err := core.Deploy(ep.svc.env, dcfg)
@@ -657,9 +721,33 @@ func (ep *Endpoint) observeRun(samples int) {
 	if probe < 1 {
 		probe = 1
 	}
+	ep.replanTo(probe, nil, reason)
+}
+
+// replanTo re-plans the endpoint under its live workload profile at the
+// given representative batch width and swaps the deployment template when
+// the winning configuration changed. Shared by the drift trigger
+// (observeRun) and the alert-driven path (alertReplan); obj, when
+// non-nil, overrides the planner's objective for this decision only.
+func (ep *Endpoint) replanTo(probe int, obj plan.Objective, reason string) {
+	st := ep.slo
 	st.runs = 0
 	profile := ep.sched.observedProfile(probe)
-	dcfg, err := ep.selectConfig(profile)
+	var dcfg core.Config
+	var err error
+	if obj != nil {
+		var d *plan.Decision
+		d, err = st.planner.ReplanWith(profile, obj)
+		if err == nil {
+			st.decision = d
+			dcfg = d.Config
+			if ep.mutate != nil {
+				ep.mutate(&dcfg)
+			}
+		}
+	} else {
+		dcfg, err = ep.selectConfig(profile)
+	}
 	if err != nil {
 		return // keep the current configuration; retry after MinRuns more runs
 	}
@@ -689,6 +777,33 @@ func (ep *Endpoint) observeRun(samples int) {
 	}
 }
 
+// alertReplan is the alert-driven arm of the control loop, invoked from a
+// firing page-severity burn-rate alert. An SLO endpoint re-plans
+// immediately — the drift gate (MinRuns) is bypassed and the decision is
+// re-scored under a latency-biased objective, since a burning error
+// budget is exactly the regime where shaving run latency beats shaving
+// cost. A fixed endpoint has no planner, so it gets an emergency replica
+// instead. Alert events are edge-triggered (one per firing transition),
+// which bounds the blast radius: a sustained violation re-plans once per
+// rule transition, not once per scrape.
+func (ep *Endpoint) alertReplan(ev monitor.AlertEvent) {
+	st := ep.slo
+	if st == nil {
+		ep.sched.alertBoost()
+		return
+	}
+	probe := int(math.Round(st.ewmaBatch))
+	if probe < 1 {
+		probe = int(math.Round(st.probeBatch))
+	}
+	if probe < 1 {
+		probe = 1
+	}
+	reason := fmt.Sprintf("slo alert %s (%s): burn %.1fx/%.1fx",
+		ev.SLO, ev.Severity, ev.BurnShort, ev.BurnLong)
+	ep.replanTo(probe, plan.LatencyObjective(), reason)
+}
+
 // Env returns the shared simulated environment.
 func (s *Service) Env() *env.Env { return s.env }
 
@@ -709,9 +824,17 @@ func (s *Service) Now() time.Duration { return s.env.K.Now() }
 // spans of every lane.
 func (s *Service) Tracer() *obs.Tracer { return s.trace }
 
-// Metrics returns the service's metrics registry, or nil when tracing is
-// off. Snapshots may be taken mid-replay for time-series windows.
+// Metrics returns the service's metrics registry, or nil when both
+// tracing and monitoring are off. Snapshots may be taken mid-replay for
+// time-series windows.
 func (s *Service) Metrics() *obs.Registry { return s.metrics }
+
+// Monitor returns the service's SLO monitor, or nil when monitoring is
+// off (WithMonitor not applied). The nil monitor is safe to read —
+// Series/Alerts/Endpoints return empty, the exporters write nothing —
+// so callers may chain without a guard. After a laned replay it holds
+// the merged time-series and alert log of every lane.
+func (s *Service) Monitor() *monitor.Monitor { return s.mon }
 
 // SubmitOptions carries per-request scheduling metadata.
 type SubmitOptions struct {

@@ -46,6 +46,12 @@ func (s *Service) openWindow(base time.Duration) *replayWindow {
 		ep.stats.MaxConcurrent = 0
 		ep.stats.PeakReplicas = len(ep.sched.pool)
 	}
+	if s.mon != nil {
+		// Restart the scrape series at the window edge and arm the first
+		// scrape event, so monitor windows are trace-relative like the
+		// report.
+		s.mon.Start(base)
+	}
 	return win
 }
 
@@ -56,6 +62,11 @@ func (s *Service) closeWindow(win *replayWindow) {
 		ep.sched.accrue(end)
 	}
 	s.env.KV.Settle()
+	if s.mon != nil {
+		// Safety net: in the replay flows every closed window was already
+		// finalized by scrape events, so this is normally a no-op.
+		s.mon.Flush(end)
+	}
 }
 
 // endpointReport assembles one endpoint's report over the window from its

@@ -61,6 +61,12 @@ type benchPoint struct {
 	// ns/op series, and within the file against NsPerOp so the tracing
 	// overhead itself stays under -traceoverhead.
 	ReplayTracedNsPerOp int64 `json:"replay_traced_ns_per_op"`
+
+	// Monitored serving replay (BENCH_9 onward): the NsPerOp workload
+	// under a 5m simulated-time SLO scrape. Gated across files like the
+	// other ns/op series and within the file against NsPerOp so the
+	// monitoring overhead stays under -monitoroverhead.
+	MonitorNsPerOp int64 `json:"monitor_ns_per_op"`
 }
 
 var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
@@ -167,6 +173,9 @@ func printHistory(dir string) error {
 		if pt.ReplayTracedNsPerOp > 0 {
 			fmt.Printf("  traced %d ns/op", pt.ReplayTracedNsPerOp)
 		}
+		if pt.MonitorNsPerOp > 0 {
+			fmt.Printf("  monitored %d ns/op", pt.MonitorNsPerOp)
+		}
 		fmt.Println()
 		prev = pt.NsPerOp
 	}
@@ -178,6 +187,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.25, "maximum allowed ns/op regression (fraction)")
 	minQPS := flag.Float64("minqps", 100_000, "absolute floor for the million-query replay (queries/sec)")
 	traceOverhead := flag.Float64("traceoverhead", 0.15, "maximum tracing overhead: traced vs untraced serving replay within one file (fraction)")
+	monitorOverhead := flag.Float64("monitoroverhead", 0.10, "maximum monitoring overhead: monitored vs plain serving replay within one file (fraction)")
 	history := flag.Bool("history", false, "print the full BENCH_* trajectory being guarded and exit")
 	flag.Parse()
 
@@ -258,6 +268,7 @@ func main() {
 		{"tree allreduce", cur.AllreduceTreeNsPerOp, prev.AllreduceTreeNsPerOp},
 		{"hybrid channel", cur.HybridNsPerOp, prev.HybridNsPerOp},
 		{"traced replay", cur.ReplayTracedNsPerOp, prev.ReplayTracedNsPerOp},
+		{"monitored replay", cur.MonitorNsPerOp, prev.MonitorNsPerOp},
 	}
 	for _, s := range series {
 		switch {
@@ -306,6 +317,19 @@ func main() {
 		if overhead > *traceOverhead {
 			log.Fatalf("benchguard: tracing overhead %.1f%% (> %.0f%% allowed)",
 				100*overhead, 100**traceOverhead)
+		}
+	}
+	// The monitoring-overhead gate (BENCH_9 onward) mirrors the tracing
+	// one: monitored against plain serving replay within the SAME point,
+	// so the delta is the SLO monitor's price alone — per-request metric
+	// increments plus scrape events on the kernel.
+	if cur.MonitorNsPerOp > 0 && cur.NsPerOp > 0 {
+		overhead := float64(cur.MonitorNsPerOp-cur.NsPerOp) / float64(cur.NsPerOp)
+		fmt.Printf("benchguard: monitoring overhead %d ns/op monitored vs %d ns/op plain (%+.1f%%)\n",
+			cur.MonitorNsPerOp, cur.NsPerOp, 100*overhead)
+		if overhead > *monitorOverhead {
+			log.Fatalf("benchguard: monitoring overhead %.1f%% (> %.0f%% allowed)",
+				100*overhead, 100**monitorOverhead)
 		}
 	}
 	fmt.Println("benchguard: within budget")

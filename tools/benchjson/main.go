@@ -10,7 +10,10 @@
 // streaming replay (BenchmarkMillionQueryReplay, in queries/sec), and from
 // BENCH_7 on the traced serving replay (BenchmarkServiceReplayTraced, the
 // same workload with 1%-sampled tracing, gated within-file at 15%
-// overhead), all guarded by benchguard alongside the serving-replay gate.
+// overhead), and from BENCH_9 on the monitored serving replay
+// (BenchmarkServiceReplayMonitored, the same workload under a 5m
+// simulated-time SLO scrape, gated within-file at 10% overhead), all
+// guarded by benchguard alongside the serving-replay gate.
 //
 // Usage:
 //
@@ -64,6 +67,12 @@ type benchReport struct {
 	// (BenchmarkServiceReplayTraced). benchguard gates the within-file
 	// overhead (ReplayTracedNsPerOp vs NsPerOp) at 15%.
 	ReplayTracedNsPerOp int64 `json:"replay_traced_ns_per_op,omitempty"`
+
+	// Monitored serving-replay point (BENCH_9 onward): the same workload
+	// as NsPerOp under a 5m simulated-time SLO scrape
+	// (BenchmarkServiceReplayMonitored). benchguard gates the
+	// within-file overhead (MonitorNsPerOp vs NsPerOp) at 10%.
+	MonitorNsPerOp int64 `json:"monitor_ns_per_op,omitempty"`
 
 	// Million-query streaming replay point (BENCH_6 onward): sustained
 	// queries/sec of the BenchmarkMillionQueryReplay workload — a
@@ -121,6 +130,34 @@ func main() {
 				fsdinference.WithCoalescing(64, 200*time.Millisecond),
 				fsdinference.WithReplicas(2),
 				fsdinference.WithTracing(100),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.Replay(trace, fsdinference.ReplayOptions{Seed: 11}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The monitored serving-replay point: identical workload under a 5m
+	// simulated-time SLO scrape with the default burn-rate rules,
+	// matching BenchmarkServiceReplayMonitored.
+	monSpec := fsdinference.MonitorSpec{
+		Interval: 5 * time.Minute,
+		SLOs: []fsdinference.SLO{{
+			Name: "availability", Kind: fsdinference.Availability,
+			Window: 30 * 24 * time.Hour, Objective: 0.999,
+		}},
+	}
+	monRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc, err := fsdinference.NewService(fsdinference.NewEnv(),
+				fsdinference.WithEndpoint("small", mSmall),
+				fsdinference.WithEndpoint("large", mLarge),
+				fsdinference.WithCoalescing(64, 200*time.Millisecond),
+				fsdinference.WithReplicas(2),
+				fsdinference.WithMonitor(monSpec),
 			)
 			if err != nil {
 				b.Fatal(err)
@@ -257,6 +294,7 @@ func main() {
 		HybridNsPerOp:        hybridRes.NsPerOp(),
 
 		ReplayTracedNsPerOp: tracedRes.NsPerOp(),
+		MonitorNsPerOp:      monRes.NsPerOp(),
 
 		MillionQueriesPerSec: millionQPS,
 	}
